@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints the paper's values beside the simulated ones and
+asserts the paper's *qualitative* claims (who wins, rough factors,
+where cliffs fall).  Durations honour two environment knobs:
+
+``REPRO_BENCH_SCALE``
+    Multiplier on simulated measurement windows (default 1.0).  Values
+    below 1 make the web sweeps faster but noisier.
+``REPRO_BENCH_QUICK``
+    When set (any non-empty value), grids shrink to their full-scale
+    cells only.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Callable
+
+
+def scale_factor() -> float:
+    """The measurement-window multiplier from the environment."""
+    try:
+        value = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        raise RuntimeError("REPRO_BENCH_SCALE must be a number") from None
+    if value <= 0:
+        raise RuntimeError("REPRO_BENCH_SCALE must be > 0")
+    return value
+
+
+def quick_mode() -> bool:
+    """True when the grids should shrink to full-scale cells."""
+    return bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+
+def web_duration(base: float = 3.0) -> float:
+    """Measurement window for one web concurrency level."""
+    return max(1.5, base * scale_factor())
+
+
+def emit(text: str) -> None:
+    """Print a report so it survives pytest's capture (stderr)."""
+    print(text, file=sys.stderr)
+    print("", file=sys.stderr)
+
+
+def run_once(benchmark, fn: Callable):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations; re-running them for
+    statistical confidence would only burn wall-clock.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,138 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. USB Ethernet adapter power: the paper notes the plug-in adapter
+   draws more than the Edison SoC itself.  With an integrated 0.1 W
+   port instead, the cluster's energy-efficiency advantage grows
+   substantially (the adapter is ~74 % of node idle power).
+2. Input-file combining (wordcount vs wordcount2): combining helps the
+   Dell cluster far more, "dwarfing" the Edison efficiency advantage.
+3. Edison-as-master: the ResourceManager's per-round work saturates an
+   Edison master's CPU; allocation crawls and the job runs far longer
+   than with a Dell master — the reason the paper adopted the hybrid
+   layout.
+4. HDFS block size on Edison terasort: 16 MB blocks mean ~4x the map
+   containers of 64 MB blocks, paying ~4x the container overhead.
+5. SYN retransmission: with an effectively unbounded port pool the
+   Dell delay-distribution spikes at 1 s and 3 s vanish, validating
+   the paper's Figure 11 explanation.
+"""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.core import paperdata as paper
+from repro.core.report import format_table
+from repro.hardware import EDISON, EDISON_INTEGRATED_NIC
+from repro.mapreduce import JOB_FACTORIES, run_job
+from repro.mapreduce.jobs.terasort import terasort_job
+from repro.web import LIMITS, WebServiceDeployment, WebWorkload, \
+    delay_distribution
+from repro.web.client import UrllibProbe
+
+from _util import emit, run_once, scale_factor
+
+
+def _adapter_ablation():
+    """Wordcount energy with the USB adapter vs an integrated port."""
+    results = {}
+    for label, spec in (("usb-adapter", EDISON),
+                        ("integrated-nic", EDISON_INTEGRATED_NIC)):
+        job, config = JOB_FACTORIES["wordcount"]("edison", 35)
+        report = run_job("edison", 35, job, config=config, edison_spec=spec)
+        results[label] = report
+    return results
+
+
+def _master_ablation():
+    """logcount on 8 Edison slaves: Dell master vs Edison master.
+
+    500 containers mean 500 commits and hundreds of outstanding
+    scheduling rounds — all serialised through the master."""
+    results = {}
+    spec, config = JOB_FACTORIES["logcount"]("edison", 8)
+    results["dell-master"] = run_job("edison", 8, spec, config=config)
+    results["edison-master"] = run_job("edison", 8, spec, config=config,
+                                       master_spec=EDISON,
+                                       deadline_s=80_000)
+    return results
+
+
+def _block_size_ablation():
+    """Edison terasort with 64 MB vs 16 MB blocks (map-count explosion)."""
+    results = {}
+    spec, config = terasort_job("edison", 35)
+    results["64MB"] = run_job("edison", 35, spec, config=config)
+    small_config = config.with_block_mb(16)
+    small_maps = math.ceil(spec.dataset.total_bytes / (16e6))
+    small_spec = replace(spec, map_tasks=small_maps)
+    results["16MB"] = run_job("edison", 35, small_spec, config=small_config)
+    return results
+
+
+def _syn_ablation():
+    """Dell delay distribution with and without port exhaustion."""
+    duration = max(4.0, 5.0 * scale_factor())
+    with_drops = delay_distribution("dell", total_rate_rps=5000,
+                                    duration=duration, warmup=duration / 3)
+    # Unbounded ports: no SYN can ever be dropped for lack of one.
+    workload = WebWorkload(image_fraction=0.20)
+    deployment = WebServiceDeployment(
+        "dell", "full", workload,
+        limits=replace(LIMITS["dell"], port_pool=10_000_000))
+    for node in deployment.web_nodes:
+        node.record_log_enabled = False
+    probe = UrllibProbe(deployment, 5000, collect_after=duration / 3)
+    probe.start(until=duration)
+    deployment.sim.run(until=duration)
+    return {"with-drops": with_drops, "no-drops": probe.log}
+
+
+def bench_ablations(benchmark):
+    def experiment():
+        return {
+            "adapter": _adapter_ablation(),
+            "master": _master_ablation(),
+            "blocks": _block_size_ablation(),
+            "syn": _syn_ablation(),
+        }
+
+    results = run_once(benchmark, experiment)
+
+    adapter = results["adapter"]
+    rows = [(label, f"{r.seconds:.0f}", f"{r.joules:.0f}",
+             f"{1e6 / r.joules:.1f}")
+            for label, r in adapter.items()]
+    emit(format_table(("NIC", "time s", "energy J", "jobs/MJ"), rows,
+                      title="Ablation 1: USB adapter vs integrated NIC "
+                            "(wordcount, 35 Edisons)"))
+    saving = 1 - (adapter["integrated-nic"].joules
+                  / adapter["usb-adapter"].joules)
+    assert adapter["integrated-nic"].seconds == pytest.approx(
+        adapter["usb-adapter"].seconds, rel=0.01)   # same speed
+    assert saving > 0.5                             # most energy was the NIC
+
+    master = results["master"]
+    rows = [(label, f"{r.seconds:.0f}", f"{r.joules:.0f}")
+            for label, r in master.items()]
+    emit(format_table(("master", "time s", "energy J"), rows,
+                      title="Ablation 3: Dell vs Edison master "
+                            "(logcount, 8 Edison slaves)"))
+    assert master["edison-master"].seconds > 1.5 * master["dell-master"].seconds
+
+    blocks = results["blocks"]
+    rows = [(label, f"{r.seconds:.0f}", f"{r.joules:.0f}")
+            for label, r in blocks.items()]
+    emit(format_table(("block size", "time s", "energy J"), rows,
+                      title="Ablation 4: HDFS block size "
+                            "(terasort, 35 Edisons)"))
+    assert blocks["16MB"].seconds > 1.1 * blocks["64MB"].seconds
+
+    syn = results["syn"]
+    emit(f"Ablation 5: Dell mass above 0.9 s with drops: "
+         f"{syn['with-drops'].fraction_above(0.9) * 100:.0f}%, "
+         f"without port exhaustion: "
+         f"{syn['no-drops'].fraction_above(0.9) * 100:.0f}%")
+    assert syn["with-drops"].fraction_above(0.9) > 0.2
+    assert syn["no-drops"].fraction_above(0.9) < 0.02

@@ -1,0 +1,88 @@
+"""Figures 12-17 — resource/power/progress timelines for three jobs.
+
+Paper claims checked per figure pair:
+
+* wordcount (12/15): the allocation lead before CPU rises is ~2.3x
+  longer on Edison (45 s vs 20 s); the reduce phase starts much later
+  in relative terms on Edison (~61 % of run time vs ~28 % on Dell).
+* wordcount2 (13/16): both clusters cut job time sharply (41 % on
+  Edison, 69 % on Dell).
+* pi (14/17): CPU reaches full utilisation on both clusters and the
+  Dell finishes ~4x sooner.
+"""
+
+import pytest
+
+from repro.core import paperdata as paper
+from repro.core.report import format_series, format_table
+from repro.mapreduce import ALLOC_LEAD_S, JOB_FACTORIES, run_job
+
+from _util import emit, run_once
+
+JOBS = ("wordcount", "wordcount2", "pi")
+
+
+def _timelines():
+    reports = {}
+    for job in JOBS:
+        for platform, slaves in (("edison", 35), ("dell", 2)):
+            spec, config = JOB_FACTORIES[job](platform, slaves)
+            reports[job, platform] = run_job(platform, slaves, spec,
+                                             config=config)
+    return reports
+
+
+def _cpu_rise_time(report, threshold: float = 0.10) -> float:
+    for t, value in report.timeline.cpu.pairs():
+        if value >= threshold:
+            return t
+    return report.seconds
+
+
+def _reduce_start_fraction(report) -> float:
+    for t, value in report.timeline.reduce_progress.pairs():
+        if value > 0:
+            return t / report.seconds
+    return 1.0
+
+
+def bench_fig12_17_mapreduce_timelines(benchmark):
+    reports = run_once(benchmark, _timelines)
+    rows = []
+    for (job, platform), report in reports.items():
+        rows.append((job, platform, f"{report.seconds:.0f}",
+                     f"{_cpu_rise_time(report):.0f}",
+                     f"{_reduce_start_fraction(report) * 100:.0f}%",
+                     f"{report.timeline.power_w.maximum():.1f}"))
+    emit(format_table(
+        ("job", "cluster", "time s", "CPU rise s", "reduce starts at",
+         "peak W"),
+        rows, title="Figures 12-17: timeline summaries"))
+    for (job, platform) in (("wordcount", "edison"), ("wordcount", "dell")):
+        report = reports[job, platform]
+        emit(format_series(f"{job}/{platform} cpu",
+                           report.timeline.cpu.pairs(),
+                           x_label="t", y_label="util", max_points=24))
+        emit(format_series(f"{job}/{platform} power",
+                           report.timeline.power_w.pairs(),
+                           x_label="t", y_label="W", max_points=24))
+
+    wc_e = reports["wordcount", "edison"]
+    wc_d = reports["wordcount", "dell"]
+    # Allocation lead ratio ~2.3x (Figures 12 vs 15).
+    lead_ratio = _cpu_rise_time(wc_e) / _cpu_rise_time(wc_d)
+    assert lead_ratio == pytest.approx(paper.S52_ALLOCATION_LEAD_RATIO,
+                                       rel=0.15)
+    # Reduce starts later (relatively) on Edison than on Dell.
+    assert _reduce_start_fraction(wc_e) > _reduce_start_fraction(wc_d)
+    # wordcount2 cuts completion time on both platforms; more on Dell.
+    cut_e = 1 - reports["wordcount2", "edison"].seconds / wc_e.seconds
+    cut_d = 1 - reports["wordcount2", "dell"].seconds / wc_d.seconds
+    assert cut_e == pytest.approx(0.41, abs=0.10)
+    assert cut_d == pytest.approx(0.69, abs=0.10)
+    assert cut_d > cut_e
+    # pi: both clusters reach (near-)full CPU; Dell ~4x faster.
+    pi_e, pi_d = reports["pi", "edison"], reports["pi", "dell"]
+    assert pi_e.timeline.cpu.maximum() > 0.9
+    assert pi_d.timeline.cpu.maximum() > 0.9
+    assert pi_e.seconds / pi_d.seconds == pytest.approx(4.0, rel=0.2)

@@ -1,0 +1,79 @@
+"""Figures 2 & 3 + Section 4.1 — Dhrystone and the Sysbench CPU test.
+
+Paper: 632.3 DMIPS per Edison thread vs 11383 per Dell thread; the
+prime test shows a 15-18x single-thread gap, Edison flattening beyond
+its 2 cores, the Dell scaling to 8 threads, and a 90-108x whole-machine
+gap.
+"""
+
+import pytest
+
+from repro.core import paperdata as paper
+from repro.core.report import format_table, paper_vs_measured
+from repro.hardware import DELL_R620, EDISON, make_server
+from repro.microbench import run_dhrystone, run_sysbench_cpu
+from repro.sim import Simulation
+
+from _util import emit, run_once
+
+
+def _dhrystone(spec):
+    sim = Simulation()
+    return run_dhrystone(sim, make_server(sim, spec, "s0"))
+
+
+def _cpu_curve(spec):
+    curve = {}
+    for threads in paper.S41_SYSBENCH_THREADS:
+        sim = Simulation()
+        server = make_server(sim, spec, "s0")
+        curve[threads] = run_sysbench_cpu(sim, server, threads)
+    return curve
+
+
+def bench_fig2_3_sysbench_cpu(benchmark):
+    def experiment():
+        return {
+            "edison_dmips": _dhrystone(EDISON).dmips,
+            "dell_dmips": _dhrystone(DELL_R620).dmips,
+            "edison": _cpu_curve(EDISON),
+            "dell": _cpu_curve(DELL_R620),
+        }
+
+    result = run_once(benchmark, experiment)
+    emit(paper_vs_measured(
+        [("Edison DMIPS (1 thread)", paper.S41_EDISON_DMIPS,
+          result["edison_dmips"]),
+         ("Dell DMIPS (1 thread)", paper.S41_DELL_DMIPS,
+          result["dell_dmips"])],
+        title="Section 4.1: Dhrystone"))
+    rows = []
+    for threads in paper.S41_SYSBENCH_THREADS:
+        e = result["edison"][threads]
+        d = result["dell"][threads]
+        rows.append((threads, f"{e.total_time_s:.0f}",
+                     f"{e.avg_response_time_s * 1000:.0f}",
+                     f"{d.total_time_s:.1f}",
+                     f"{d.avg_response_time_s * 1000:.1f}"))
+    emit(format_table(
+        ("threads", "Edison total (s)", "Edison resp (ms)",
+         "Dell total (s)", "Dell resp (ms)"), rows,
+        title="Figures 2 & 3: Sysbench CPU (primes < 20000)"))
+
+    assert result["edison_dmips"] == pytest.approx(paper.S41_EDISON_DMIPS,
+                                                   rel=0.01)
+    assert result["dell_dmips"] == pytest.approx(paper.S41_DELL_DMIPS,
+                                                 rel=0.01)
+    # Single-thread gap in the paper's 15-18x band.
+    gap1 = (result["edison"][1].total_time_s
+            / result["dell"][1].total_time_s)
+    assert paper.S41_PER_CORE_SPEEDUP[0] <= gap1 \
+        <= paper.S41_PER_CORE_SPEEDUP[1] + 0.5
+    # Edison flat beyond 2 threads; Dell keeps scaling to 8.
+    assert result["edison"][4].total_time_s == pytest.approx(
+        result["edison"][2].total_time_s, rel=0.05)
+    assert result["dell"][8].total_time_s < 0.6 * result["dell"][4].total_time_s
+    # Whole-machine gap 90-108x.
+    machine_gap = DELL_R620.cpu.machine_dmips / EDISON.cpu.machine_dmips
+    low, high = paper.S41_PER_MACHINE_SPEEDUP
+    assert low <= machine_gap <= high

@@ -1,0 +1,93 @@
+"""Figures 4 & 7 — web throughput/delay vs concurrency, lightest load.
+
+Paper claims checked: (1) peak requests/s scales linearly with cluster
+size, (2) Edison and Dell full clusters peak at nearly the same rate,
+(3) Edison errors appear beyond 1024 conn/s while Dell holds 2048 with
+a throughput drop, (4) Edison low-load delay is ~5x Dell's, (5) the
+power lines sit at 56-58 W (Edison) vs 170-200 W (Dell), giving ~3.5x
+more requests per joule on the Edison cluster.
+"""
+
+import pytest
+
+from repro.core import paperdata as paper
+from repro.core.report import format_table, paper_vs_measured
+from repro.web import energy_efficiency_ratio, sweep_concurrency
+
+from _util import emit, quick_mode, run_once, web_duration
+
+LEVELS = paper.S51_CONCURRENCY_LEVELS
+
+
+def _curves():
+    duration = web_duration()
+    curves = {}
+    edison_scales = ("full", "1/2") if quick_mode() \
+        else ("full", "1/2", "1/4", "1/8")
+    for scale in edison_scales:
+        curves["edison", scale] = sweep_concurrency(
+            "edison", scale, duration=duration)
+    for scale in ("full", "1/2"):
+        curves["dell", scale] = sweep_concurrency(
+            "dell", scale, duration=duration)
+    return curves
+
+
+def bench_fig4_7_web_baseline(benchmark):
+    curves = run_once(benchmark, _curves)
+    rows = []
+    for (platform, scale), sweep in curves.items():
+        for level in sweep.levels:
+            rows.append((
+                f"{platform}/{scale}", level.concurrency,
+                f"{level.requests_per_second:.0f}",
+                f"{level.mean_delay_s * 1000:.1f}",
+                level.error_calls, f"{level.mean_power_w:.1f}"))
+    emit(format_table(
+        ("cluster", "conn/s", "req/s", "delay ms", "5xx", "power W"),
+        rows, title="Figures 4 & 7: throughput/delay/power, 0% images, "
+                    "93% hit ratio"))
+
+    edison_full = curves["edison", "full"]
+    dell_full = curves["dell", "full"]
+    emit(paper_vs_measured(
+        [("peak req/s (Edison full)", paper.S51_PEAK_RPS_LIGHT,
+          edison_full.peak_rps()),
+         ("peak req/s (Dell full)", paper.S51_PEAK_RPS_LIGHT,
+          dell_full.peak_rps()),
+         ("Edison cluster power W", 57, edison_full.mean_power_at_peak()),
+         ("Dell cluster power W", 185, dell_full.mean_power_at_peak()),
+         ("requests/joule ratio", paper.S51_ENERGY_EFFICIENCY_RATIO,
+          energy_efficiency_ratio(edison_full, dell_full))],
+        title="Figure 4 headline numbers"))
+
+    # (1) linear scaling across Edison sizes.
+    half = curves["edison", "1/2"].peak_rps()
+    assert edison_full.peak_rps() == pytest.approx(2 * half, rel=0.15)
+    if ("edison", "1/4") in curves:
+        assert curves["edison", "1/4"].peak_rps() == pytest.approx(
+            half / 2, rel=0.2)
+    # (2) both full clusters peak near the paper's number.
+    assert edison_full.peak_rps() == pytest.approx(
+        paper.S51_PEAK_RPS_LIGHT, rel=0.12)
+    assert dell_full.peak_rps() == pytest.approx(
+        edison_full.peak_rps(), rel=0.12)
+    # (3) error cliffs: Edison errors beyond 1024; Dell clean to 2048
+    #     but with a throughput drop there.
+    assert edison_full.max_clean_concurrency() == \
+        paper.S51_EDISON_MAX_CONCURRENCY
+    assert dell_full.max_clean_concurrency() == paper.S51_DELL_MAX_CONCURRENCY
+    dell_by_conc = {l.concurrency: l for l in dell_full.levels}
+    assert dell_by_conc[2048].requests_per_second < \
+        0.95 * dell_full.peak_rps()
+    # (4) low-load delay gap ~5x.
+    edison_low = edison_full.levels[0].mean_delay_s
+    dell_low = dell_full.levels[0].mean_delay_s
+    assert 3.0 <= edison_low / dell_low <= 8.0
+    # (5) power bands and the 3.5x requests-per-joule headline.
+    assert paper.S51_EDISON_POWER_RANGE_W[0] * 0.92 <= \
+        edison_full.mean_power_at_peak() <= paper.S51_EDISON_POWER_RANGE_W[1]
+    assert paper.S51_DELL_POWER_RANGE_W[0] <= \
+        dell_full.mean_power_at_peak() <= paper.S51_DELL_POWER_RANGE_W[1] * 1.05
+    assert energy_efficiency_ratio(edison_full, dell_full) == pytest.approx(
+        paper.S51_ENERGY_EFFICIENCY_RATIO, rel=0.15)

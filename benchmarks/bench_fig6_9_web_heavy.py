@@ -1,0 +1,68 @@
+"""Figures 6 & 9 — the heaviest fair load: 20 % images, 93 % hit ratio.
+
+Paper claims checked: overall throughput is ~85 % of the lightest
+workload; the half-scale Edison cluster can no longer hold 1024 conn/s
+without errors; the Edison cluster still achieves ~3.5x more
+requests-per-joule.
+"""
+
+import pytest
+
+from repro.core import paperdata as paper
+from repro.core.report import format_table, paper_vs_measured
+from repro.web import WebWorkload, energy_efficiency_ratio, sweep_concurrency
+
+from _util import emit, quick_mode, run_once, web_duration
+
+HEAVY = WebWorkload(image_fraction=0.20, cache_hit_ratio=0.93)
+
+
+def _curves():
+    duration = web_duration()
+    curves = {
+        ("edison", "full"): sweep_concurrency("edison", "full", HEAVY,
+                                              duration=duration),
+        ("dell", "full"): sweep_concurrency("dell", "full", HEAVY,
+                                            duration=duration),
+    }
+    if not quick_mode():
+        curves["edison", "1/2"] = sweep_concurrency("edison", "1/2", HEAVY,
+                                                    duration=duration)
+        curves["dell", "1/2"] = sweep_concurrency("dell", "1/2", HEAVY,
+                                                  duration=duration)
+    return curves
+
+
+def bench_fig6_9_web_heavy(benchmark):
+    curves = run_once(benchmark, _curves)
+    rows = []
+    for (platform, scale), sweep in curves.items():
+        for level in sweep.levels:
+            rows.append((f"{platform}/{scale}", level.concurrency,
+                         f"{level.requests_per_second:.0f}",
+                         f"{level.mean_delay_s * 1000:.1f}",
+                         level.error_calls, f"{level.mean_power_w:.1f}"))
+    emit(format_table(
+        ("cluster", "conn/s", "req/s", "delay ms", "5xx", "power W"),
+        rows, title="Figures 6 & 9: 20% images, 93% hit ratio"))
+
+    edison = curves["edison", "full"]
+    dell = curves["dell", "full"]
+    heavy_peak = edison.peak_rps()
+    emit(paper_vs_measured(
+        [("peak vs lightest load", paper.S51_HEAVY_TO_LIGHT_RPS,
+          heavy_peak / paper.S51_PEAK_RPS_LIGHT),
+         ("requests/joule ratio", paper.S51_ENERGY_EFFICIENCY_RATIO,
+          energy_efficiency_ratio(edison, dell))],
+        title="Figure 6 headline numbers"))
+
+    # ~85 % of the lightest workload's peak.
+    assert heavy_peak / paper.S51_PEAK_RPS_LIGHT == pytest.approx(
+        paper.S51_HEAVY_TO_LIGHT_RPS, abs=0.08)
+    # Still ~3.5x more work per joule.
+    assert energy_efficiency_ratio(edison, dell) == pytest.approx(
+        paper.S51_ENERGY_EFFICIENCY_RATIO, rel=0.18)
+    if ("edison", "1/2") in curves:
+        # The half Edison cluster can no longer hold 1024 conn/s.
+        half = curves["edison", "1/2"]
+        assert half.max_clean_concurrency() < 1024

@@ -1,0 +1,60 @@
+"""Section 4.2 — Sysbench memory bandwidth sweep.
+
+Paper: 36 GB/s peak on the Dell vs 2.2 GB/s on the Edison; rates
+saturate from 256 KiB blocks, and beyond 2 threads (Edison) / 12
+threads (Dell).
+"""
+
+import pytest
+
+from repro.core import paperdata as paper
+from repro.core.report import format_table, paper_vs_measured
+from repro.hardware import DELL_R620, EDISON, make_server
+from repro.microbench import run_sysbench_memory
+from repro.sim import Simulation
+
+from _util import emit, run_once
+
+
+THREADS = tuple(sorted(set(paper.S42_THREAD_COUNTS) | {2, 12}))
+
+
+def _sweep(spec):
+    grid = {}
+    for block in paper.S42_BLOCK_SIZES:
+        for threads in THREADS:
+            sim = Simulation()
+            server = make_server(sim, spec, "s0")
+            grid[(block, threads)] = run_sysbench_memory(
+                sim, server, block, threads).rate_bps
+    return grid
+
+
+def bench_sec42_memory(benchmark):
+    result = run_once(benchmark, lambda: {
+        "edison": _sweep(EDISON), "dell": _sweep(DELL_R620)})
+    edison, dell = result["edison"], result["dell"]
+    peak_e = max(edison.values())
+    peak_d = max(dell.values())
+    emit(paper_vs_measured(
+        [("Edison peak (GB/s)", paper.S42_EDISON_MEM_BW / 1e9, peak_e / 1e9),
+         ("Dell peak (GB/s)", paper.S42_DELL_MEM_BW / 1e9, peak_d / 1e9),
+         ("Dell/Edison ratio", 16.4, peak_d / peak_e)],
+        title="Section 4.2: memory bandwidth"))
+    rows = [(f"{block // 1024} KiB",
+             *(f"{edison[(block, t)] / 1e9:.2f}" for t in THREADS))
+            for block in paper.S42_BLOCK_SIZES]
+    emit(format_table(("block", *(f"{t}th" for t in THREADS)),
+                      rows, title="Edison transfer rate (GB/s)"))
+
+    assert peak_e == pytest.approx(paper.S42_EDISON_MEM_BW, rel=0.05)
+    assert peak_d == pytest.approx(paper.S42_DELL_MEM_BW, rel=0.05)
+    # Saturation in block size: 256 KiB within 10 % of 1 MiB.
+    for grid, sat_threads in ((edison, 2), (dell, 12)):
+        big = grid[(1048576, sat_threads)]
+        assert grid[(262144, sat_threads)] >= 0.9 * big
+        assert grid[(4096, sat_threads)] < 0.5 * big
+    # Saturation in threads.
+    assert edison[(1048576, 16)] == pytest.approx(edison[(1048576, 2)])
+    assert dell[(1048576, 16)] == pytest.approx(dell[(1048576, 12)])
+    assert dell[(1048576, 8)] < dell[(1048576, 12)]

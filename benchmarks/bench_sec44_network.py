@@ -1,0 +1,65 @@
+"""Section 4.4 — iperf3 throughput and ping RTT between server pairs."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import paperdata as paper
+from repro.core.report import paper_vs_measured
+from repro.hardware import DELL_R620, EDISON
+from repro.microbench import run_iperf, run_ping
+from repro.sim import Simulation
+
+from _util import emit, run_once
+
+PAIRS = (
+    ("dell", "dell", DELL_R620, DELL_R620),
+    ("dell", "edison", DELL_R620, EDISON),
+    ("edison", "edison", EDISON, EDISON),
+)
+
+
+def _pair(spec_a, spec_b):
+    sim = Simulation()
+    cluster = Cluster(sim)
+    cluster.add(spec_a, "a")
+    cluster.add(spec_b, "b")
+    return sim, cluster.topology
+
+
+def bench_sec44_network(benchmark):
+    def experiment():
+        results = {}
+        for name_a, name_b, spec_a, spec_b in PAIRS:
+            key = (name_a, name_b)
+            sim, topo = _pair(spec_a, spec_b)
+            results[key, "tcp"] = run_iperf(sim, topo, "a", "b",
+                                            nbytes=250e6).goodput_bps
+            sim, topo = _pair(spec_a, spec_b)
+            results[key, "udp"] = run_iperf(sim, topo, "a", "b", nbytes=250e6,
+                                            protocol="udp").goodput_bps
+            sim, topo = _pair(spec_a, spec_b)
+            results[key, "rtt"] = run_ping(sim, topo, "a", "b").rtt_s
+        return results
+
+    result = run_once(benchmark, experiment)
+    rows = []
+    for key in ((("dell", "dell")), (("dell", "edison")),
+                (("edison", "edison"))):
+        label = "-".join(key)
+        rows.append((f"{label} TCP Mb/s", paper.S44_TCP_BPS[key] / 1e6,
+                     result[key, "tcp"] / 1e6))
+        rows.append((f"{label} UDP Mb/s", paper.S44_UDP_BPS[key] / 1e6,
+                     result[key, "udp"] / 1e6))
+        rows.append((f"{label} RTT ms", paper.S44_RTT_S[key] * 1000,
+                     result[key, "rtt"] * 1000))
+    emit(paper_vs_measured(rows, title="Section 4.4: network"))
+
+    for key in (("dell", "dell"), ("dell", "edison"), ("edison", "edison")):
+        assert result[key, "tcp"] == pytest.approx(paper.S44_TCP_BPS[key],
+                                                   rel=0.02)
+        assert result[key, "udp"] == pytest.approx(paper.S44_UDP_BPS[key],
+                                                   rel=0.02)
+        assert result[key, "rtt"] == pytest.approx(paper.S44_RTT_S[key])
+    # The 10x NIC gap.
+    gap = result[("dell", "dell"), "tcp"] / result[("edison", "edison"), "tcp"]
+    assert gap == pytest.approx(10.0, rel=0.05)

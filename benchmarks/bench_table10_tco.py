@@ -1,0 +1,35 @@
+"""Tables 9 & 10 — total cost of ownership under Equation 1.
+
+Paper claims checked: each Table 10 cell reproduces within 2 %, and the
+Edison cluster saves up to ~47 % of the Dell cluster's 3-year TCO.
+"""
+
+import pytest
+
+from repro.core import paperdata as paper
+from repro.core.report import paper_vs_measured
+from repro.tco import savings_fraction, table10
+
+from _util import emit, run_once
+
+
+def bench_table10_tco(benchmark):
+    results = run_once(benchmark, table10)
+    rows = []
+    for key, values in results.items():
+        scenario, load = key
+        published = paper.T10[key]
+        rows.append((f"{scenario}/{load} Dell", published["dell"],
+                     round(values["dell"], 1)))
+        rows.append((f"{scenario}/{load} Edison", published["edison"],
+                     round(values["edison"], 1)))
+    emit(paper_vs_measured(rows, title="Table 10: 3-year TCO ($)"))
+
+    for key, values in results.items():
+        published = paper.T10[key]
+        assert values["dell"] == pytest.approx(published["dell"], rel=0.02)
+        assert values["edison"] == pytest.approx(published["edison"],
+                                                 rel=0.02)
+    best = max(savings_fraction(v) for v in results.values())
+    emit(f"best-case Edison TCO savings: {best * 100:.1f}% (paper: ~47%)")
+    assert best == pytest.approx(0.47, abs=0.02)

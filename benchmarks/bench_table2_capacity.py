@@ -1,0 +1,28 @@
+"""Table 2 — back-of-the-envelope replacement estimate.
+
+Paper: one Dell R620 is matched by max(12 CPU, 16 RAM, 10 NIC) = 16
+Edison nodes.
+"""
+
+from repro.core import paperdata as paper
+from repro.core.capacity import replacement_estimate
+from repro.core.report import paper_vs_measured
+from repro.hardware import DELL_R620, EDISON
+
+from _util import emit, run_once
+
+
+def bench_table2_capacity(benchmark):
+    estimate = run_once(benchmark,
+                        lambda: replacement_estimate(EDISON, DELL_R620))
+    emit(paper_vs_measured(
+        [("Edisons to match CPU", 12, estimate.by_cpu),
+         ("Edisons to match RAM", 16, estimate.by_memory),
+         ("Edisons to match NIC", 10, estimate.by_network),
+         ("Edisons per Dell (max)", paper.T2_EDISONS_PER_DELL,
+          estimate.required)],
+        title="Table 2: micro servers needed to replace one Dell R620"))
+    assert estimate.by_cpu == 12
+    assert estimate.by_memory == 16
+    assert estimate.by_network == 10
+    assert estimate.required == paper.T2_EDISONS_PER_DELL

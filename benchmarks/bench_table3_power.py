@@ -1,0 +1,98 @@
+"""Table 3 — idle/busy power of nodes and clusters, via the meter.
+
+Servers are metered idle, then with every vcore pinned; the sampled
+wall power must land on the Table 3 endpoints.
+"""
+
+import pytest
+
+from repro.cluster import dell_cluster, edison_cluster
+from repro.core import paperdata as paper
+from repro.core.report import paper_vs_measured
+from repro.energy import PowerMeter
+from repro.hardware import DELL_R620, EDISON, make_server
+from repro.sim import Simulation
+
+from _util import emit, run_once
+
+
+def _saturate(sim, server):
+    """Pin every component of ``server``: CPU, memory, disk and NIC."""
+    spec = server.spec
+    for _ in range(spec.cpu.vcores):
+        sim.process(server.cpu.execute(60 * spec.cpu.vcore_dmips))
+    server.memory.reserve(0.95 * spec.memory.capacity_bytes)
+    sim.process(server.storage.write(
+        spec.storage.buffered_write_bps * 50, buffered=True))
+
+    def nic_traffic():
+        while True:
+            server.nic.bytes_sent += spec.nic.bytes_per_second
+            yield sim.timeout(1.0)
+
+    sim.process(nic_traffic())
+
+
+def _metered_power(spec, busy: bool) -> float:
+    sim = Simulation()
+    server = make_server(sim, spec, "s0")
+    if busy:
+        _saturate(sim, server)
+    meter = PowerMeter(sim, [server], interval=1.0)
+    meter.start(until=30)
+    sim.run(until=30)
+    return meter.mean_power()
+
+
+def _cluster_power(builder, nodes: int, busy: bool) -> float:
+    sim = Simulation()
+    cluster = builder(sim, nodes=nodes)
+    if busy:
+        for server in cluster:
+            _saturate(sim, server)
+    meter = cluster.attach_meter(interval=1.0)
+    meter.start(until=30)
+    sim.run(until=30)
+    return meter.mean_power()
+
+
+def bench_table3_power(benchmark):
+    def experiment():
+        return {
+            "edison_idle": _metered_power(EDISON, busy=False),
+            "edison_busy": _metered_power(EDISON, busy=True),
+            "dell_idle": _metered_power(DELL_R620, busy=False),
+            "dell_busy": _metered_power(DELL_R620, busy=True),
+            "edison35_idle": _cluster_power(edison_cluster, 35, busy=False),
+            "edison35_busy": _cluster_power(edison_cluster, 35, busy=True),
+            "dell3_idle": _cluster_power(dell_cluster, 3, busy=False),
+            "dell3_busy": _cluster_power(dell_cluster, 3, busy=True),
+        }
+
+    watts = run_once(benchmark, experiment)
+    emit(paper_vs_measured(
+        [("1 Edison idle (w/ adapter)", paper.T3_EDISON_IDLE_W,
+          watts["edison_idle"]),
+         ("1 Edison busy (w/ adapter)", paper.T3_EDISON_BUSY_W,
+          watts["edison_busy"]),
+         ("35-node Edison cluster idle", paper.T3_EDISON_CLUSTER35_IDLE_W,
+          watts["edison35_idle"]),
+         ("35-node Edison cluster busy", paper.T3_EDISON_CLUSTER35_BUSY_W,
+          watts["edison35_busy"]),
+         ("1 Dell idle", paper.T3_DELL_IDLE_W, watts["dell_idle"]),
+         ("1 Dell busy", paper.T3_DELL_BUSY_W, watts["dell_busy"]),
+         ("3-node Dell cluster idle", paper.T3_DELL_CLUSTER3_IDLE_W,
+          watts["dell3_idle"]),
+         ("3-node Dell cluster busy", paper.T3_DELL_CLUSTER3_BUSY_W,
+          watts["dell3_busy"])],
+        title="Table 3: measured wall power (W)", unit="W"))
+    assert watts["edison_idle"] == pytest.approx(paper.T3_EDISON_IDLE_W,
+                                                 rel=0.02)
+    assert watts["edison_busy"] == pytest.approx(paper.T3_EDISON_BUSY_W,
+                                                 rel=0.05)
+    assert watts["dell_idle"] == pytest.approx(paper.T3_DELL_IDLE_W, rel=0.02)
+    assert watts["dell_busy"] == pytest.approx(paper.T3_DELL_BUSY_W, rel=0.06)
+    assert watts["edison35_idle"] == pytest.approx(
+        paper.T3_EDISON_CLUSTER35_IDLE_W, rel=0.02)
+    assert watts["dell3_busy"] == pytest.approx(
+        paper.T3_DELL_CLUSTER3_BUSY_W, rel=0.06)

@@ -1,0 +1,59 @@
+"""Table 5 — storage I/O throughput and latency (dd + ioping)."""
+
+import pytest
+
+from repro.core import paperdata as paper
+from repro.core.report import paper_vs_measured
+from repro.hardware import DELL_R620, EDISON, make_server
+from repro.microbench import run_dd, run_ioping
+from repro.sim import Simulation
+
+from _util import emit, run_once
+
+
+def _suite(spec):
+    results = {}
+    for op, buffered, key in (
+            ("write", False, "write_bps"),
+            ("write", True, "buffered_write_bps"),
+            ("read", False, "read_bps"),
+            ("read", True, "buffered_read_bps")):
+        sim = Simulation()
+        server = make_server(sim, spec, "s0")
+        results[key] = run_dd(sim, server, op, nbytes=100e6,
+                              buffered=buffered).rate_bps
+    for op, key in (("read", "read_latency_s"), ("write", "write_latency_s")):
+        sim = Simulation()
+        server = make_server(sim, spec, "s0")
+        results[key] = run_ioping(sim, server, op).mean_latency_s
+    return results
+
+
+def bench_table5_storage(benchmark):
+    result = run_once(benchmark, lambda: {
+        "edison": _suite(EDISON), "dell": _suite(DELL_R620)})
+    rows = []
+    for label, key, scale, unit in (
+            ("write MB/s", "write_bps", 1e6, ""),
+            ("buffered write MB/s", "buffered_write_bps", 1e6, ""),
+            ("read MB/s", "read_bps", 1e6, ""),
+            ("buffered read MB/s", "buffered_read_bps", 1e6, ""),
+            ("write latency ms", "write_latency_s", 1e-3, ""),
+            ("read latency ms", "read_latency_s", 1e-3, "")):
+        for platform, table in (("Edison", paper.T5_EDISON),
+                                ("Dell", paper.T5_DELL)):
+            rows.append((f"{platform} {label}", table[key] / scale,
+                         result[platform.lower()][key] / scale))
+    emit(paper_vs_measured(rows, title="Table 5: storage I/O"))
+
+    for platform, table in (("edison", paper.T5_EDISON),
+                            ("dell", paper.T5_DELL)):
+        measured = result[platform]
+        for key in ("write_bps", "buffered_write_bps", "read_bps",
+                    "buffered_read_bps"):
+            assert measured[key] == pytest.approx(table[key], rel=0.15)
+        for key in ("write_latency_s", "read_latency_s"):
+            assert table[key] <= measured[key] <= 1.07 * table[key]
+    # The paper's ratios: direct write 5.3x, buffered write 8.9x faster.
+    ratio_write = result["dell"]["write_bps"] / result["edison"]["write_bps"]
+    assert ratio_write == pytest.approx(5.3, rel=0.1)

@@ -1,0 +1,68 @@
+"""Table 7 — database/cache/total delay decomposition vs request rate.
+
+Paper claims checked: the Edison legs are several times slower than the
+Dell legs at every rate; Edison's cache delay grows much faster with
+rate than its database delay; the Dell totals stay in single-digit
+milliseconds throughout.
+"""
+
+import pytest
+
+from repro.core import paperdata as paper
+from repro.core.report import format_table
+from repro.web import measure_delay_decomposition
+
+from _util import emit, quick_mode, run_once, web_duration
+
+RATES = tuple(rate for rate, *_ in paper.T7_ROWS)
+
+
+def _grid():
+    duration = web_duration()
+    rates = RATES if not quick_mode() else (480, 7680)
+    return {
+        (platform, rate): measure_delay_decomposition(
+            platform, rate, duration=duration, warmup=duration / 3)
+        for platform in ("edison", "dell")
+        for rate in rates
+    }
+
+
+def bench_table7_delay_decomp(benchmark):
+    grid = run_once(benchmark, _grid)
+    rows = []
+    for rate, db, cache, total in paper.T7_ROWS:
+        if ("edison", rate) not in grid:
+            continue
+        e = grid["edison", rate]
+        d = grid["dell", rate]
+        rows.append((
+            rate,
+            f"({e.db_delay_s * 1e3:.2f}, {d.db_delay_s * 1e3:.2f})",
+            f"({db[0]}, {db[1]})",
+            f"({e.cache_delay_s * 1e3:.2f}, {d.cache_delay_s * 1e3:.2f})",
+            f"({cache[0]}, {cache[1]})",
+            f"({e.total_delay_s * 1e3:.2f}, {d.total_delay_s * 1e3:.2f})",
+            f"({total[0]}, {total[1]})",
+        ))
+    emit(format_table(
+        ("req/s", "db ms (sim)", "db ms (paper)", "cache ms (sim)",
+         "cache ms (paper)", "total ms (sim)", "total ms (paper)"),
+        rows, title="Table 7: delay decomposition (Edison, Dell) tuples"))
+
+    rates = sorted({rate for _, rate in grid})
+    low, high = rates[0], rates[-1]
+    for rate in rates:
+        e, d = grid["edison", rate], grid["dell", rate]
+        assert e.total_delay_s > 3 * d.total_delay_s
+        assert e.db_delay_s > 2 * d.db_delay_s
+        assert d.total_delay_s < 0.010           # Dell stays single-digit ms
+    e_low, e_high = grid["edison", low], grid["edison", high]
+    # Edison cache delay grows much faster than its database delay.
+    cache_growth = e_high.cache_delay_s / e_low.cache_delay_s
+    db_growth = e_high.db_delay_s / e_low.db_delay_s
+    assert cache_growth > 2.0
+    assert cache_growth > db_growth
+    # Dell delays barely move across the whole rate range.
+    d_low, d_high = grid["dell", low], grid["dell", high]
+    assert d_high.total_delay_s < 2.5 * d_low.total_delay_s

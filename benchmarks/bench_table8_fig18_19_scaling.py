@@ -1,0 +1,92 @@
+"""Table 8 + Figures 18 & 19 + Section 5.3 — the MapReduce scaling grid.
+
+Every (job, platform, cluster size) cell of Table 8 is re-run and
+printed beside the paper's numbers.  The full-scale cells (35 Edison,
+2 Dell) are calibration anchors; every other cell is a *prediction* of
+the simulator.
+
+Paper claims checked: the Edison cluster achieves more
+work-done-per-joule on every job except pi; per-job efficiency gains
+land near the paper's factors; mean speed-up per cluster doubling is
+~1.9 (Edison) and ~2.07 (Dell).
+"""
+
+import pytest
+
+from repro.core import paperdata as paper
+from repro.core.report import format_table, paper_vs_measured
+from repro.mapreduce import (
+    TABLE8_JOBS, paper_mean_speedup, run_scaling_grid,
+)
+from repro.mapreduce.scaling import efficiency_table
+
+from _util import emit, quick_mode, run_once
+
+
+def _grids():
+    if quick_mode():
+        sizes = {"edison": (35,), "dell": (2,)}
+    else:
+        sizes = {"edison": None, "dell": None}
+    return {
+        "edison": run_scaling_grid("edison", sizes=sizes["edison"]),
+        "dell": run_scaling_grid("dell", sizes=sizes["dell"]),
+    }
+
+
+def bench_table8_fig18_19_scaling(benchmark):
+    grids = run_once(benchmark, _grids)
+    rows = []
+    for job in TABLE8_JOBS:
+        for platform in ("edison", "dell"):
+            grid = grids[platform]
+            for size, report in sorted(grid.reports[job].items(),
+                                       reverse=True):
+                published = paper.T8[job][platform][size]
+                rows.append((
+                    job, f"{platform}-{size}",
+                    f"{report.seconds:.0f}s/{report.joules:.0f}J",
+                    f"{published.seconds:.0f}s/{published.joules:.0f}J",
+                    f"{report.seconds / published.seconds - 1:+.0%}",
+                    f"{report.joules / published.joules - 1:+.0%}"))
+    emit(format_table(
+        ("job", "cluster", "simulated", "paper", "time err", "energy err"),
+        rows, title="Table 8 / Figures 18-19: time and energy by size"))
+
+    gains = efficiency_table(grids["edison"], grids["dell"])
+    emit(paper_vs_measured(
+        [(f"{job} efficiency gain", published, simulated)
+         for job, (simulated, published) in gains.items()],
+        title="Full-scale work-done-per-joule gains (Edison over Dell)"))
+
+    # Edison wins on every job except pi.
+    for job, (simulated, _) in gains.items():
+        if job == "pi":
+            assert simulated < 1.0
+        else:
+            assert simulated > 1.0
+    # Gains land near the paper's factors.
+    for job, (simulated, published) in gains.items():
+        assert simulated == pytest.approx(published, rel=0.30)
+    # Calibration anchors within 10 % on time.
+    for job in TABLE8_JOBS:
+        assert grids["edison"].reports[job][35].seconds == pytest.approx(
+            paper.T8[job]["edison"][35].seconds, rel=0.10)
+        assert grids["dell"].reports[job][2].seconds == pytest.approx(
+            paper.T8[job]["dell"][2].seconds, rel=0.10)
+
+    if not quick_mode():
+        speedup_e = grids["edison"].mean_speedup()
+        speedup_d = grids["dell"].mean_speedup()
+        emit(paper_vs_measured(
+            [("Edison mean speed-up/doubling", paper.S53_EDISON_MEAN_SPEEDUP,
+              speedup_e),
+             ("Dell mean speed-up/doubling", paper.S53_DELL_MEAN_SPEEDUP,
+              speedup_d),
+             ("paper's own Table 8 Edison speed-up",
+              paper.S53_EDISON_MEAN_SPEEDUP, paper_mean_speedup("edison"))],
+            title="Section 5.3: scalability"))
+        # Satisfactory scalability: near 2x per doubling, Dell slightly
+        # better than Edison.
+        assert 1.5 <= speedup_e <= 2.2
+        assert speedup_d >= speedup_e * 0.95

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""MapReduce energy study: all six Table 8 jobs on both clusters.
+
+For each job the script prints run time, energy, mean power and the
+Edison cluster's work-done-per-joule gain over the Dell cluster —
+positive for the data-intensive jobs, negative for pure-CPU pi,
+exactly the paper's Table 8 story.  It also prints a wordcount
+execution timeline (the Figure 12 data) as text.
+
+Run:  python examples/mapreduce_energy.py          (~1 minute)
+      python examples/mapreduce_energy.py wordcount pi   (subset)
+"""
+
+import sys
+
+from repro import JOB_FACTORIES, run_job
+from repro.core.report import format_series, format_table
+from repro.mapreduce import TABLE8_JOBS
+
+
+def main() -> None:
+    jobs = [j for j in sys.argv[1:] if j in TABLE8_JOBS] or TABLE8_JOBS
+    rows = []
+    wordcount_report = None
+    for job in jobs:
+        reports = {}
+        for platform, slaves in (("edison", 35), ("dell", 2)):
+            spec, config = JOB_FACTORIES[job](platform, slaves)
+            reports[platform] = run_job(platform, slaves, spec, config=config)
+        if job == "wordcount":
+            wordcount_report = reports["edison"]
+        gain = reports["dell"].joules / reports["edison"].joules
+        rows.append((
+            job,
+            f"{reports['edison'].seconds:.0f}s/{reports['edison'].joules:.0f}J",
+            f"{reports['dell'].seconds:.0f}s/{reports['dell'].joules:.0f}J",
+            f"{gain:.2f}x"))
+    print(format_table(
+        ("job", "35 Edison", "2 Dell", "Edison WDPJ gain"), rows,
+        title="Table 8 jobs: time/energy and the efficiency gain"))
+    if wordcount_report is not None:
+        print()
+        timeline = wordcount_report.timeline
+        print(format_series("wordcount/edison CPU utilisation",
+                            timeline.cpu.pairs(), "t(s)", "util",
+                            max_points=20))
+        print(format_series("wordcount/edison cluster power",
+                            timeline.power_w.pairs(), "t(s)", "W",
+                            max_points=20))
+        print(format_series("wordcount/edison map progress",
+                            timeline.map_progress.pairs(), "t(s)", "frac",
+                            max_points=20))
+
+
+if __name__ == "__main__":
+    main()

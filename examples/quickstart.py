@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: measure work-done-per-joule on both clusters.
+
+Runs the paper's two headline experiments at small scale:
+
+1. a web-serving level on the full Edison (24 web + 11 cache) and Dell
+   (2 web + 1 cache) tiers, reporting requests/s, delay, power and
+   requests-per-joule, and
+2. the wordcount MapReduce job on 35 Edison slaves vs 2 Dell slaves,
+   reporting run time, energy and the efficiency gain.
+
+Expected output: the Edison cluster matches the Dell cluster's web
+throughput at ~3.5x the requests-per-joule, and finishes wordcount
+slower but with ~2.3x less energy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import JOB_FACTORIES, WebServiceDeployment, run_job
+
+
+def web_demo() -> None:
+    print("== Web serving (Section 5.1) ==")
+    results = {}
+    for platform in ("edison", "dell"):
+        deployment = WebServiceDeployment(platform)
+        level = deployment.run_level(concurrency=512, duration=3.0,
+                                     warmup=1.0)
+        results[platform] = level
+        print(f"  {platform:6s}: {level.requests_per_second:7.0f} req/s  "
+              f"{level.mean_delay_s * 1000:6.1f} ms  "
+              f"{level.mean_power_w:6.1f} W  "
+              f"{level.requests_per_second / level.mean_power_w:6.1f} req/J")
+    ratio = ((results['edison'].requests_per_second
+              / results['edison'].mean_power_w)
+             / (results['dell'].requests_per_second
+                / results['dell'].mean_power_w))
+    print(f"  Edison requests-per-joule advantage: {ratio:.2f}x "
+          f"(paper: ~3.5x)")
+
+
+def mapreduce_demo() -> None:
+    print("== MapReduce wordcount (Section 5.2) ==")
+    reports = {}
+    for platform, slaves in (("edison", 35), ("dell", 2)):
+        spec, config = JOB_FACTORIES["wordcount"](platform, slaves)
+        report = run_job(platform, slaves, spec, config=config)
+        reports[platform] = report
+        print(f"  {platform:6s} x{slaves:2d}: {report.seconds:6.0f} s  "
+              f"{report.joules:7.0f} J  "
+              f"(data-local maps: {report.locality_fraction * 100:.0f}%)")
+    gain = reports["dell"].joules / reports["edison"].joules
+    print(f"  Edison work-done-per-joule advantage: {gain:.2f}x "
+          f"(paper: 2.28x)")
+
+
+if __name__ == "__main__":
+    web_demo()
+    print()
+    mapreduce_demo()

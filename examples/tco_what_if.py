@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""TCO what-if explorer: when do micro servers stop paying off?
+
+Reproduces Table 10 and then sweeps the two assumptions the paper's
+Section 6 model is most sensitive to:
+
+* electricity price (the cheaper the power, the less the Edison's
+  efficiency matters against its larger node count), and
+* Dell server price (commodity pricing erodes the capex gap).
+
+Run:  python examples/tco_what_if.py
+"""
+
+from dataclasses import replace
+
+from repro.core.report import format_table
+from repro.tco import DELL_TCO, EDISON_TCO, cluster_tco, savings_fraction, \
+    table10
+
+
+def main() -> None:
+    rows = [(f"{scenario}/{load}", f"${values['dell']:.0f}",
+             f"${values['edison']:.0f}",
+             f"{savings_fraction(values) * 100:.0f}%")
+            for (scenario, load), values in table10().items()]
+    print(format_table(("scenario", "Dell cluster", "Edison cluster",
+                        "savings"), rows,
+                       title="Table 10: 3-year TCO (paper's assumptions)"))
+    print()
+
+    rows = []
+    for price in (0.05, 0.10, 0.20, 0.40):
+        dell = cluster_tco(replace(DELL_TCO, electricity_usd_per_kwh=price),
+                           3, 0.75)
+        edison = cluster_tco(
+            replace(EDISON_TCO, electricity_usd_per_kwh=price), 35, 0.75)
+        rows.append((f"${price:.2f}/kWh", f"${dell:.0f}", f"${edison:.0f}",
+                     f"{(1 - edison / dell) * 100:.0f}%"))
+    print(format_table(("electricity", "Dell", "Edison", "savings"), rows,
+                       title="Sensitivity: electricity price "
+                             "(web scenario, high load)"))
+    print()
+
+    rows = []
+    for dell_price in (1000.0, 2500.0, 5000.0):
+        dell = cluster_tco(replace(DELL_TCO, node_cost_usd=dell_price),
+                           3, 0.75)
+        edison = cluster_tco(EDISON_TCO, 35, 0.75)
+        rows.append((f"${dell_price:.0f}/server", f"${dell:.0f}",
+                     f"${edison:.0f}", f"{(1 - edison / dell) * 100:.0f}%"))
+    print(format_table(("Dell price", "Dell", "Edison", "savings"), rows,
+                       title="Sensitivity: brawny server price"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,209 @@
+"""Regenerate EXPERIMENTS.md: paper vs simulated for every table/figure.
+
+Runs the entire evaluation (Section 4 micro-benchmarks, the Section 5.1
+web sweeps, the full Table 8 MapReduce grid, and the Section 6 TCO
+model) and writes the comparison document.  Takes ~10 minutes.
+
+Run:  python scripts/generate_experiments_report.py [output.md]
+"""
+
+import sys
+import time
+
+from repro.cluster import Cluster
+from repro.core import paperdata as paper
+from repro.hardware import DELL_R620, EDISON, make_server
+from repro.core.capacity import replacement_estimate
+from repro.mapreduce import TABLE8_JOBS, run_scaling_grid
+from repro.mapreduce.scaling import efficiency_table
+from repro.microbench import run_dhrystone, run_iperf, run_sysbench_memory
+from repro.sim import Simulation
+from repro.tco import savings_fraction, table10
+from repro.web import (
+    WebWorkload, delay_distribution, energy_efficiency_ratio,
+    measure_delay_decomposition, sweep_concurrency,
+)
+
+WEB_DURATION = 3.0
+
+
+def row(label, paper_value, measured, unit=""):
+    if paper_value:
+        err = f"{(measured - paper_value) / paper_value * 100:+.1f}%"
+    else:
+        err = "n/a"
+    return f"| {label} | {paper_value:g}{unit} | {measured:g}{unit} | {err} |"
+
+
+def header(title):
+    return [f"\n## {title}\n",
+            "| experiment | paper | simulated | error |",
+            "|---|---|---|---|"]
+
+
+def section4(lines):
+    lines += header("Section 4 — individual server tests")
+    sim = Simulation()
+    dmips_e = run_dhrystone(sim, make_server(sim, EDISON, "e")).dmips
+    sim = Simulation()
+    dmips_d = run_dhrystone(sim, make_server(sim, DELL_R620, "d")).dmips
+    lines.append(row("Dhrystone Edison (DMIPS)", paper.S41_EDISON_DMIPS,
+                     round(dmips_e, 1)))
+    lines.append(row("Dhrystone Dell (DMIPS)", paper.S41_DELL_DMIPS,
+                     round(dmips_d, 1)))
+    estimate = replacement_estimate(EDISON, DELL_R620)
+    lines.append(row("Table 2: Edisons per Dell", paper.T2_EDISONS_PER_DELL,
+                     estimate.required))
+    sim = Simulation()
+    mem_e = run_sysbench_memory(sim, make_server(sim, EDISON, "e"),
+                                1 << 20, 2).rate_bps
+    sim = Simulation()
+    mem_d = run_sysbench_memory(sim, make_server(sim, DELL_R620, "d"),
+                                1 << 20, 12).rate_bps
+    lines.append(row("S4.2 Edison mem BW (GB/s)",
+                     paper.S42_EDISON_MEM_BW / 1e9, round(mem_e / 1e9, 2)))
+    lines.append(row("S4.2 Dell mem BW (GB/s)", paper.S42_DELL_MEM_BW / 1e9,
+                     round(mem_d / 1e9, 2)))
+    for pair, spec_a, spec_b in ((("dell", "dell"), DELL_R620, DELL_R620),
+                                 (("edison", "edison"), EDISON, EDISON)):
+        sim = Simulation()
+        cluster = Cluster(sim)
+        cluster.add(spec_a, "a")
+        cluster.add(spec_b, "b")
+        tcp = run_iperf(sim, cluster.topology, "a", "b",
+                        nbytes=250e6).goodput_bps
+        lines.append(row(f"S4.4 TCP {pair[0]}-{pair[1]} (Mb/s)",
+                         paper.S44_TCP_BPS[pair] / 1e6, round(tcp / 1e6, 1)))
+
+
+def section51(lines):
+    lines += header("Section 5.1 — web service (Figures 4-11, Table 7)")
+    light_e = sweep_concurrency("edison", "full", duration=WEB_DURATION)
+    light_d = sweep_concurrency("dell", "full", duration=WEB_DURATION)
+    lines.append(row("Fig 4 Edison peak req/s", paper.S51_PEAK_RPS_LIGHT,
+                     round(light_e.peak_rps())))
+    lines.append(row("Fig 4 Dell peak req/s", paper.S51_PEAK_RPS_LIGHT,
+                     round(light_d.peak_rps())))
+    lines.append(row("Fig 4 Edison power (W)", 57.0,
+                     round(light_e.mean_power_at_peak(), 1)))
+    lines.append(row("Fig 4 Dell power (W)", 185.0,
+                     round(light_d.mean_power_at_peak(), 1)))
+    lines.append(row("Fig 4 requests/joule gain",
+                     paper.S51_ENERGY_EFFICIENCY_RATIO,
+                     round(energy_efficiency_ratio(light_e, light_d), 2)))
+    lines.append(row("Fig 4 Edison max clean conn/s",
+                     paper.S51_EDISON_MAX_CONCURRENCY,
+                     light_e.max_clean_concurrency()))
+    lines.append(row("Fig 4 Dell max clean conn/s",
+                     paper.S51_DELL_MAX_CONCURRENCY,
+                     light_d.max_clean_concurrency()))
+    heavy = WebWorkload(image_fraction=0.20, cache_hit_ratio=0.93)
+    heavy_e = sweep_concurrency("edison", "full", heavy,
+                                duration=WEB_DURATION)
+    heavy_d = sweep_concurrency("dell", "full", heavy, duration=WEB_DURATION)
+    lines.append(row("Fig 6 heavy/light peak ratio",
+                     paper.S51_HEAVY_TO_LIGHT_RPS,
+                     round(heavy_e.peak_rps() / paper.S51_PEAK_RPS_LIGHT, 3)))
+    lines.append(row("Fig 6 requests/joule gain",
+                     paper.S51_ENERGY_EFFICIENCY_RATIO,
+                     round(energy_efficiency_ratio(heavy_e, heavy_d), 2)))
+    for rate, db, cache, total in paper.T7_ROWS:
+        e = measure_delay_decomposition("edison", rate,
+                                        duration=WEB_DURATION, warmup=1.0)
+        d = measure_delay_decomposition("dell", rate, duration=WEB_DURATION,
+                                        warmup=1.0)
+        lines.append(row(f"T7@{rate} Edison total (ms)", total[0],
+                         round(e.total_delay_s * 1e3, 2)))
+        lines.append(row(f"T7@{rate} Dell total (ms)", total[1],
+                         round(d.total_delay_s * 1e3, 2)))
+    hist_d = delay_distribution("dell", duration=6.0, warmup=2.0)
+    hist_e = delay_distribution("edison", duration=6.0, warmup=2.0)
+    lines.append(row("Fig 11 Dell mass above 0.9s (%)", 30.0,
+                     round(hist_d.fraction_above(0.9) * 100, 1)))
+    lines.append(row("Fig 10 Edison mass above 0.9s (%)", 1.0,
+                     round(hist_e.fraction_above(0.9) * 100, 1)))
+
+
+def section52(lines):
+    lines += header("Section 5.2/5.3 — MapReduce (Table 8, Figures 18-19)")
+    edison = run_scaling_grid("edison")
+    dell = run_scaling_grid("dell")
+    for job in TABLE8_JOBS:
+        for platform, grid in (("edison", edison), ("dell", dell)):
+            for size, report in sorted(grid.reports[job].items(),
+                                       reverse=True):
+                published = paper.T8[job][platform][size]
+                lines.append(row(f"{job} {platform}-{size} time (s)",
+                                 published.seconds, round(report.seconds)))
+                lines.append(row(f"{job} {platform}-{size} energy (J)",
+                                 published.joules, round(report.joules)))
+    for job, (simulated, published) in efficiency_table(edison, dell).items():
+        lines.append(row(f"{job} full-scale WDPJ gain", round(published, 3),
+                         round(simulated, 3)))
+    lines.append(row("S5.3 Edison mean speed-up",
+                     paper.S53_EDISON_MEAN_SPEEDUP,
+                     round(edison.mean_speedup(), 2)))
+    lines.append(row("S5.3 Dell mean speed-up", paper.S53_DELL_MEAN_SPEEDUP,
+                     round(dell.mean_speedup(), 2)))
+
+
+def section6(lines):
+    lines += header("Section 6 — TCO (Table 10)")
+    results = table10()
+    for key, values in results.items():
+        published = paper.T10[key]
+        lines.append(row(f"TCO {key[0]}/{key[1]} Dell ($)",
+                         published["dell"], round(values["dell"], 1)))
+        lines.append(row(f"TCO {key[0]}/{key[1]} Edison ($)",
+                         published["edison"], round(values["edison"], 1)))
+    best = max(savings_fraction(v) for v in results.values())
+    lines.append(row("best Edison savings (%)", 47.0, round(best * 100, 1)))
+
+
+PREAMBLE = '''# EXPERIMENTS — paper vs simulated, every table and figure
+
+Generated by `python scripts/generate_experiments_report.py`.
+
+Full-scale MapReduce cells (35 Edison / 2 Dell) and the per-platform
+hardware capacities are **calibration anchors** (fitted; see
+`src/repro/mapreduce/costs.py`); everything else — scaled-down cluster
+sizes, web sweeps, delay decompositions, TCO — is a **prediction** of
+the simulator under the calibrated hardware models.
+
+Known deviations (and why they are accepted):
+
+* The paper's smallest-cluster MapReduce cells (4/8 Edison nodes,
+  1 Dell node for wordcount/logcount/terasort) degrade *superlinearly*
+  in ways the simulator under-predicts by up to ~50 %.  The paper
+  itself attributes such cells to memory pressure and disk-seek thrash
+  at saturation, neither of which the fluid models capture; the
+  qualitative ordering (smaller cluster -> slower, sometimes cheaper in
+  energy) is preserved.
+* Edison cache-fetch delay at intermediate request rates (Table 7,
+  1920-3840 req/s) grows more slowly than the paper's measurement; the
+  blow-up at the top rate is reproduced.  The paper's own mid-rate
+  growth starts at ~25 % cluster utilisation, which no open queueing
+  model reproduces without an additional contention source.
+* Dell MapReduce energies sit ~5-20 % below the paper (the component
+  power blend under-credits IO-phase draw on the Xeon); who-wins and
+  the efficiency factors are unaffected.
+'''
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
+    start = time.time()
+    lines = [PREAMBLE]
+    section4(lines)
+    section51(lines)
+    section52(lines)
+    section6(lines)
+    lines.append(f"\n*(regenerated in {time.time() - start:.0f} s of "
+                 f"wall-clock simulation)*")
+    with open(output, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    print(f"wrote {output} in {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

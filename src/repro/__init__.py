@@ -1,0 +1,45 @@
+"""repro — a simulation-based reproduction of Zhao et al., VLDB 2016.
+
+"An Experimental Evaluation of Datacenter Workloads on Low-Power
+Embedded Micro Servers" measured a 35-node Intel Edison cluster against
+Dell PowerEdge R620 servers.  This package rebuilds that study as a
+calibrated discrete-event simulation: the hardware models consume the
+paper's measured component capacities, and every table and figure of
+the evaluation has a corresponding runner here.
+
+Quick start::
+
+    from repro import WebServiceDeployment
+    deployment = WebServiceDeployment("edison")
+    result = deployment.run_level(concurrency=512, duration=3.0)
+    print(result.requests_per_second, result.mean_power_w)
+
+See README.md for the architecture tour and benchmarks/ for the
+table/figure reproductions.
+"""
+
+from .cluster import Cluster, dell_cluster, edison_cluster, hadoop_cluster, \
+    web_cluster
+from .core import paperdata
+from .energy import EnergyReport, PowerMeter, work_done_per_joule
+from .hardware import DELL_R620, EDISON, EDISON_INTEGRATED_NIC, Server, \
+    ServerSpec, make_server
+from .mapreduce import JOB_FACTORIES, TABLE8_JOBS, JobReport, JobRunner, \
+    JobSpec, run_job
+from .sim import Simulation
+from .tco import cluster_tco, table10
+from .web import WebServiceDeployment, WebWorkload, delay_distribution, \
+    measure_delay_decomposition, sweep_concurrency
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster", "DELL_R620", "EDISON", "EDISON_INTEGRATED_NIC",
+    "EnergyReport", "JOB_FACTORIES", "JobReport", "JobRunner", "JobSpec",
+    "PowerMeter", "Server", "ServerSpec", "Simulation", "TABLE8_JOBS",
+    "WebServiceDeployment", "WebWorkload", "cluster_tco", "dell_cluster",
+    "delay_distribution", "edison_cluster", "hadoop_cluster", "make_server",
+    "measure_delay_decomposition", "paperdata", "run_job",
+    "sweep_concurrency", "table10", "web_cluster", "work_done_per_joule",
+    "__version__",
+]

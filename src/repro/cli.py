@@ -1,0 +1,245 @@
+"""Command-line interface: run any of the paper's experiments directly.
+
+Examples
+--------
+::
+
+    python -m repro web --platform edison --concurrency 512
+    python -m repro job wordcount --platform dell --slaves 2
+    python -m repro table8 --jobs wordcount pi
+    python -m repro table10
+    python -m repro microbench
+    python -m repro histogram --platform dell
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .cluster import Cluster
+from .core import paperdata as paper
+from .core.capacity import replacement_estimate
+from .core.report import format_table, paper_vs_measured
+from .hardware import DELL_R620, EDISON, make_server
+from .mapreduce import JOB_FACTORIES, TABLE8_JOBS, run_job
+from .microbench import run_dd, run_dhrystone, run_ioping, run_iperf, \
+    run_ping, run_sysbench_cpu, run_sysbench_memory
+from .sim import Simulation
+from .tco import savings_fraction, table10
+from .web import WebServiceDeployment, WebWorkload, delay_distribution, \
+    measure_delay_decomposition
+
+
+def _cmd_web(args) -> int:
+    workload = WebWorkload(image_fraction=args.images,
+                           cache_hit_ratio=args.hit_ratio)
+    deployment = WebServiceDeployment(args.platform, args.scale, workload,
+                                      seed=args.seed)
+    level = deployment.run_level(args.concurrency, duration=args.duration,
+                                 warmup=args.duration / 3)
+    print(format_table(
+        ("metric", "value"),
+        [("requests/s", f"{level.requests_per_second:.0f}"),
+         ("mean delay (ms)", f"{level.mean_delay_s * 1000:.1f}"),
+         ("5xx errors", level.error_calls),
+         ("client timeouts", level.timeout_calls),
+         ("SYN retries", level.syn_retries),
+         ("cluster power (W)", f"{level.mean_power_w:.1f}"),
+         ("requests/joule", f"{level.requests_per_second / level.mean_power_w:.1f}")],
+        title=f"{args.platform}/{args.scale} web tier at "
+              f"{args.concurrency} conn/s"))
+    return 0
+
+
+def _cmd_job(args) -> int:
+    spec, config = JOB_FACTORIES[args.name](args.platform, args.slaves)
+    report = run_job(args.platform, args.slaves, spec, config=config,
+                     seed=args.seed)
+    print(format_table(
+        ("metric", "value"),
+        [("run time (s)", f"{report.seconds:.0f}"),
+         ("energy (J)", f"{report.joules:.0f}"),
+         ("mean power (W)", f"{report.mean_watts:.1f}"),
+         ("data-local maps", f"{report.locality_fraction * 100:.0f}%")],
+        title=f"{args.name} on {args.slaves} {args.platform} slaves"))
+    published = paper.T8.get(args.name, {}).get(args.platform, {}) \
+        .get(args.slaves)
+    if published is not None:
+        print(f"paper: {published.seconds:.0f}s / {published.joules:.0f}J")
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    estimate = replacement_estimate(EDISON, DELL_R620)
+    print(paper_vs_measured(
+        [("by CPU", 12, estimate.by_cpu),
+         ("by RAM", 16, estimate.by_memory),
+         ("by NIC", 10, estimate.by_network),
+         ("required", paper.T2_EDISONS_PER_DELL, estimate.required)],
+        title="Table 2: Edison nodes per Dell R620"))
+    return 0
+
+
+def _cmd_table8(args) -> int:
+    jobs = args.jobs or list(TABLE8_JOBS)
+    rows = []
+    for job in jobs:
+        for platform, slaves in (("edison", 35), ("dell", 2)):
+            spec, config = JOB_FACTORIES[job](platform, slaves)
+            report = run_job(platform, slaves, spec, config=config,
+                             seed=args.seed)
+            published = paper.T8[job][platform][slaves]
+            rows.append((job, f"{platform}-{slaves}",
+                         f"{report.seconds:.0f}s/{report.joules:.0f}J",
+                         f"{published.seconds:.0f}s/{published.joules:.0f}J"))
+    print(format_table(("job", "cluster", "simulated", "paper"), rows,
+                       title="Table 8 (full-scale cells)"))
+    return 0
+
+
+def _cmd_table7(args) -> int:
+    rows = []
+    for rate, db, cache, total in paper.T7_ROWS:
+        e = measure_delay_decomposition("edison", rate,
+                                        duration=args.duration)
+        d = measure_delay_decomposition("dell", rate, duration=args.duration)
+        rows.append((rate,
+                     f"({e.db_delay_s * 1e3:.2f}, {d.db_delay_s * 1e3:.2f})",
+                     f"({e.cache_delay_s * 1e3:.2f}, "
+                     f"{d.cache_delay_s * 1e3:.2f})",
+                     f"({e.total_delay_s * 1e3:.2f}, "
+                     f"{d.total_delay_s * 1e3:.2f})",
+                     f"({total[0]}, {total[1]})"))
+    print(format_table(
+        ("req/s", "db ms", "cache ms", "total ms", "paper total"),
+        rows, title="Table 7: (Edison, Dell) delay decomposition"))
+    return 0
+
+
+def _cmd_table10(args) -> int:
+    rows = []
+    for key, values in table10().items():
+        published = paper.T10[key]
+        rows.append((f"{key[0]}/{key[1]}",
+                     f"${values['dell']:.1f} (paper ${published['dell']})",
+                     f"${values['edison']:.1f} "
+                     f"(paper ${published['edison']})",
+                     f"{savings_fraction(values) * 100:.0f}%"))
+    print(format_table(("scenario", "Dell", "Edison", "savings"), rows,
+                       title="Table 10: 3-year TCO"))
+    return 0
+
+
+def _cmd_histogram(args) -> int:
+    log = delay_distribution(args.platform, total_rate_rps=args.rate,
+                             duration=args.duration,
+                             warmup=args.duration / 3)
+    rows = [(f"{start:.1f}-{start + 0.5:.1f}", count, "#" * min(60, count))
+            for start, count in log.histogram(0.5, 8.0) if count]
+    print(format_table(("delay (s)", "samples", ""), rows,
+                       title=f"{args.platform} response-delay distribution "
+                             f"at {args.rate:.0f} req/s (Figures 10/11)"))
+    return 0
+
+
+def _cmd_microbench(args) -> int:
+    rows = []
+    for label, spec in (("edison", EDISON), ("dell", DELL_R620)):
+        sim = Simulation()
+        server = make_server(sim, spec, "s0")
+        rows.append((f"{label} Dhrystone (DMIPS)",
+                     f"{run_dhrystone(sim, server).dmips:.1f}"))
+        sim = Simulation()
+        server = make_server(sim, spec, "s0")
+        rows.append((f"{label} sysbench 1-thread (s)",
+                     f"{run_sysbench_cpu(sim, server, 1).total_time_s:.0f}"))
+        sim = Simulation()
+        server = make_server(sim, spec, "s0")
+        rows.append((f"{label} mem BW (GB/s)",
+                     f"{run_sysbench_memory(sim, server, 1 << 20, 16).rate_bps / 1e9:.2f}"))
+        sim = Simulation()
+        server = make_server(sim, spec, "s0")
+        rows.append((f"{label} dd write (MB/s)",
+                     f"{run_dd(sim, server, 'write', 50e6).rate_bps / 1e6:.1f}"))
+        sim = Simulation()
+        server = make_server(sim, spec, "s0")
+        rows.append((f"{label} ioping read (ms)",
+                     f"{run_ioping(sim, server, 'read').mean_latency_s * 1e3:.2f}"))
+    sim = Simulation()
+    cluster = Cluster(sim)
+    cluster.add(EDISON, "a")
+    cluster.add(EDISON, "b")
+    rows.append(("edison-edison iperf TCP (Mb/s)",
+                 f"{run_iperf(sim, cluster.topology, 'a', 'b', 100e6).goodput_bps / 1e6:.1f}"))
+    sim = Simulation()
+    cluster = Cluster(sim)
+    cluster.add(EDISON, "a")
+    cluster.add(EDISON, "b")
+    rows.append(("edison-edison ping (ms)",
+                 f"{run_ping(sim, cluster.topology, 'a', 'b').rtt_s * 1e3:.2f}"))
+    print(format_table(("benchmark", "result"), rows,
+                       title="Section 4 micro-benchmarks"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the VLDB'16 Edison micro-server study "
+                    "in simulation.")
+    parser.add_argument("--seed", type=int, default=20160901,
+                        help="root RNG seed (default: %(default)s)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    web = sub.add_parser("web", help="run one web-serving level")
+    web.add_argument("--platform", choices=("edison", "dell"),
+                     default="edison")
+    web.add_argument("--scale", default="full",
+                     choices=("full", "1/2", "1/4", "1/8"))
+    web.add_argument("--concurrency", type=int, default=512)
+    web.add_argument("--duration", type=float, default=3.0)
+    web.add_argument("--images", type=float, default=0.0,
+                     help="image-query fraction (0-1)")
+    web.add_argument("--hit-ratio", type=float, default=0.93)
+    web.set_defaults(func=_cmd_web)
+
+    job = sub.add_parser("job", help="run one MapReduce job")
+    job.add_argument("name", choices=sorted(JOB_FACTORIES))
+    job.add_argument("--platform", choices=("edison", "dell"),
+                     default="edison")
+    job.add_argument("--slaves", type=int, default=35)
+    job.set_defaults(func=_cmd_job)
+
+    sub.add_parser("table2", help="capacity estimate") \
+        .set_defaults(func=_cmd_table2)
+    t7 = sub.add_parser("table7", help="delay decomposition")
+    t7.add_argument("--duration", type=float, default=3.0)
+    t7.set_defaults(func=_cmd_table7)
+    t8 = sub.add_parser("table8", help="full-scale Table 8 cells")
+    t8.add_argument("--jobs", nargs="*", choices=TABLE8_JOBS)
+    t8.set_defaults(func=_cmd_table8)
+    sub.add_parser("table10", help="TCO comparison") \
+        .set_defaults(func=_cmd_table10)
+
+    hist = sub.add_parser("histogram", help="Figure 10/11 delay histogram")
+    hist.add_argument("--platform", choices=("edison", "dell"),
+                      default="dell")
+    hist.add_argument("--rate", type=float, default=6000.0)
+    hist.add_argument("--duration", type=float, default=6.0)
+    hist.set_defaults(func=_cmd_histogram)
+
+    sub.add_parser("microbench", help="Section 4 single-server tests") \
+        .set_defaults(func=_cmd_microbench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

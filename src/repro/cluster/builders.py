@@ -1,0 +1,83 @@
+"""Ready-made cluster layouts matching the paper's testbeds."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import paperdata as paper
+from ..hardware import DELL_R620, EDISON, ServerSpec
+from ..sim import Simulation
+from .cluster import Cluster
+
+
+def edison_cluster(sim: Simulation, nodes: int = 35,
+                   spec: ServerSpec = EDISON,
+                   name: str = "edison") -> Cluster:
+    """The paper's Edison testbed: ``nodes`` micro servers (default 35)."""
+    cluster = Cluster(sim, name=name)
+    cluster.add_many(spec, nodes, prefix="edison")
+    return cluster
+
+
+def dell_cluster(sim: Simulation, nodes: int = 3,
+                 name: str = "dell") -> Cluster:
+    """The Dell PowerEdge R620 comparison cluster (default 3 nodes)."""
+    cluster = Cluster(sim, name=name)
+    cluster.add_many(DELL_R620, nodes, prefix="dell")
+    return cluster
+
+
+def hadoop_cluster(sim: Simulation, platform: str, slaves: int,
+                   name: Optional[str] = None,
+                   edison_spec: ServerSpec = EDISON,
+                   master_spec: ServerSpec = DELL_R620) -> Cluster:
+    """The Section 5.2 Hadoop layouts.
+
+    Both platforms use one *unmetered* Dell master (namenode + resource
+    manager); the paper found an Edison master becomes the bottleneck
+    and excludes the master's steady draw from energy accounting on
+    both sides.  Slaves run the datanode + node-manager.  Pass
+    ``master_spec=EDISON`` to reproduce the failed all-Edison layout
+    (the Edison-master ablation).
+    """
+    if platform not in ("edison", "dell"):
+        raise ValueError(f"unknown platform {platform!r}")
+    if slaves < 1:
+        raise ValueError("need at least one slave")
+    cluster = Cluster(sim, name=name or f"hadoop-{platform}{slaves}")
+    cluster.add(master_spec, "master", metered=False)
+    slave_spec = edison_spec if platform == "edison" else DELL_R620
+    cluster.add_many(slave_spec, slaves, prefix=f"{platform}-slave")
+    return cluster
+
+
+def web_cluster(sim: Simulation, platform: str, scale: str = "full",
+                edison_spec: ServerSpec = EDISON) -> Cluster:
+    """The Section 5.1 web-service layouts (Table 6).
+
+    Returns a cluster whose servers are tagged by role via naming:
+    ``web-*`` and ``cache-*``.  The shared MySQL tier (2 extra Dell
+    R620s, used by *both* platforms and excluded from the comparison)
+    is added unmetered, as are the 8 client and 8 load-balancer hosts.
+    """
+    if scale not in paper.T6_CLUSTERS:
+        raise ValueError(f"unknown scale {scale!r}; "
+                         f"choose from {sorted(paper.T6_CLUSTERS)}")
+    edison_web, edison_cache, dell_web, dell_cache = paper.T6_CLUSTERS[scale]
+    if platform == "edison":
+        web_count, cache_count, spec = edison_web, edison_cache, edison_spec
+    elif platform == "dell":
+        if dell_web is None:
+            raise ValueError(f"the paper has no Dell layout at scale {scale!r}")
+        web_count, cache_count, spec = dell_web, dell_cache, DELL_R620
+    else:
+        raise ValueError(f"unknown platform {platform!r}")
+    cluster = Cluster(sim, name=f"web-{platform}-{scale.replace('/', 'of')}")
+    cluster.add_many(spec, web_count, prefix="web")
+    cluster.add_many(spec, cache_count, prefix="cache")
+    # Shared, unmetered infrastructure (always brawny Dell hardware).
+    for i in range(2):
+        cluster.add(DELL_R620, f"db-{i}", metered=False)
+    for i in range(8):
+        cluster.add(DELL_R620, f"client-{i}", metered=False)
+    return cluster

@@ -1,0 +1,62 @@
+"""Plain-text tables and series dumps for the benchmark harness.
+
+Every benchmark prints the paper's value beside the simulated one in a
+fixed-width table, so a calibration drift is visible in the bench
+output itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render a fixed-width text table."""
+    if not headers:
+        raise ValueError("need at least one column")
+    cells = [[str(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str,
+                  pairs: Sequence[Tuple[float, float]],
+                  x_label: str = "x", y_label: str = "y",
+                  max_points: int = 40) -> str:
+    """Render an (x, y) series compactly, subsampling long traces."""
+    if max_points < 2:
+        raise ValueError("max_points must be >= 2")
+    points = list(pairs)
+    if len(points) > max_points:
+        step = (len(points) - 1) / (max_points - 1)
+        points = [points[round(i * step)] for i in range(max_points)]
+    body = "  ".join(f"{x:g}:{y:g}" for x, y in points)
+    return f"{name} [{x_label} -> {y_label}] {body}"
+
+
+def paper_vs_measured(rows: Sequence[Tuple[str, float, float]],
+                      title: str, unit: str = "") -> str:
+    """A three-column comparison table with relative error."""
+    table_rows = []
+    for label, paper_value, measured in rows:
+        err = (measured - paper_value) / paper_value * 100 \
+            if paper_value else float("nan")
+        table_rows.append((label, f"{paper_value:g}{unit}",
+                           f"{measured:g}{unit}", f"{err:+.1f}%"))
+    return format_table(("case", "paper", "simulated", "error"),
+                        table_rows, title=title)

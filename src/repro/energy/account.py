@@ -1,0 +1,50 @@
+"""Energy accounting and the paper's headline metric: work-done-per-joule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Result of metering one workload run."""
+
+    seconds: float
+    joules: float
+    work_units: float = 1.0
+    work_name: str = "jobs"
+
+    def __post_init__(self):
+        if self.seconds <= 0:
+            raise ValueError("seconds must be > 0")
+        if self.joules < 0:
+            raise ValueError("joules must be >= 0")
+
+    @property
+    def mean_watts(self) -> float:
+        """Average power over the run."""
+        return self.joules / self.seconds
+
+    @property
+    def work_per_joule(self) -> float:
+        """The paper's metric: useful work per joule of energy."""
+        if self.joules == 0:
+            return float("inf")
+        return self.work_units / self.joules
+
+
+def work_done_per_joule(work_units: float, joules: float) -> float:
+    """Work-done-per-joule for ``work_units`` of work costing ``joules``."""
+    if joules <= 0:
+        raise ValueError("joules must be > 0")
+    return work_units / joules
+
+
+def efficiency_gain(contender: EnergyReport, baseline: EnergyReport) -> float:
+    """How many times more work-per-joule ``contender`` achieves.
+
+    With equal work on both sides this reduces to the energy ratio
+    ``baseline.joules / contender.joules``, which is how the paper
+    compares fixed-size MapReduce jobs.
+    """
+    return contender.work_per_joule / baseline.work_per_joule

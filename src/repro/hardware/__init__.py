@@ -1,0 +1,18 @@
+"""Calibrated hardware models: CPU, memory, storage, NIC, power, servers."""
+
+from .cpu import Cpu, CpuSpec
+from .memory import Memory, MemorySpec
+from .nic import Nic, NicSpec
+from .power import DEFAULT_WEIGHTS, PowerSpec, cluster_power
+from .profiles import (
+    DELL_R620, EDISON, EDISON_INTEGRATED_NIC, PROFILES, make_server,
+)
+from .server import Server, ServerSpec
+from .storage import Storage, StorageSpec
+
+__all__ = [
+    "Cpu", "CpuSpec", "DEFAULT_WEIGHTS", "DELL_R620", "EDISON",
+    "EDISON_INTEGRATED_NIC", "Memory", "MemorySpec", "Nic", "NicSpec",
+    "PROFILES", "PowerSpec", "Server", "ServerSpec", "Storage",
+    "StorageSpec", "cluster_power", "make_server",
+]

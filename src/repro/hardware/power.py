@@ -1,0 +1,86 @@
+"""Component-weighted power model calibrated to the paper's Table 3.
+
+Measured servers interpolate between an idle and a busy wattage as a
+function of an *effective utilisation* — a weighted blend of CPU, memory,
+disk and network activity.  CPU dominates (the paper attributes the
+super-linear power of brawny cores to speculation machinery), but the
+blend keeps the Dell cluster's web-serving draw in the paper's observed
+170-200 W band even though web-server CPU only reaches 45 %.
+
+The Edison's USB Ethernet adapter is modelled as a constant adder —
+the paper measured it at ~1 W, more than the Edison SoC itself — so the
+adapter-power ablation can swap it for an integrated 0.1 W port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+#: Default blend of component activities into effective utilisation.
+#: CPU dominates; the blend is jointly calibrated against the paper's
+#: web-serving power band (170-200 W for 3 Dells at 45 % web CPU,
+#: Figure 4) and the MapReduce job energies of Table 8 (a pegged-CPU
+#: pi job drives a Dell near its 109 W peak).
+DEFAULT_WEIGHTS: Mapping[str, float] = {
+    "cpu": 0.80, "mem": 0.05, "disk": 0.075, "net": 0.075,
+}
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Static power description of one server.
+
+    ``idle_w``/``busy_w`` bracket the server *without* any constant
+    adapter; ``adapter_w`` is added unconditionally while present.
+    """
+
+    idle_w: float
+    busy_w: float
+    adapter_w: float = 0.0
+    weights: Mapping[str, float] = field(default_factory=lambda: dict(DEFAULT_WEIGHTS))
+
+    def __post_init__(self):
+        if self.idle_w < 0 or self.busy_w < self.idle_w:
+            raise ValueError("need 0 <= idle_w <= busy_w")
+        if self.adapter_w < 0:
+            raise ValueError("adapter_w must be >= 0")
+        total = sum(self.weights.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"weights must sum to 1, got {total}")
+
+    @property
+    def min_w(self) -> float:
+        """Wall power with the server idle (adapter included)."""
+        return self.idle_w + self.adapter_w
+
+    @property
+    def max_w(self) -> float:
+        """Wall power with the server saturated (adapter included)."""
+        return self.busy_w + self.adapter_w
+
+    def effective_utilization(self, utilization: Mapping[str, float]) -> float:
+        """Blend per-component utilisations into one dial in [0, 1]."""
+        blended = 0.0
+        for component, weight in self.weights.items():
+            value = utilization.get(component, 0.0)
+            blended += weight * min(1.0, max(0.0, value))
+        return blended
+
+    def power(self, utilization: Mapping[str, float]) -> float:
+        """Instantaneous wall power for the given component utilisations."""
+        u = self.effective_utilization(utilization)
+        return self.idle_w + (self.busy_w - self.idle_w) * u + self.adapter_w
+
+    def without_adapter(self) -> "PowerSpec":
+        """The same server with its USB adapter removed (ablation)."""
+        return PowerSpec(self.idle_w, self.busy_w, 0.0, dict(self.weights))
+
+    def with_adapter(self, adapter_w: float) -> "PowerSpec":
+        """The same server with a different constant adapter power."""
+        return PowerSpec(self.idle_w, self.busy_w, adapter_w, dict(self.weights))
+
+
+def cluster_power(per_node_watts: Dict[str, float]) -> float:
+    """Sum per-node wall power into a cluster reading (PDU view)."""
+    return sum(per_node_watts.values())

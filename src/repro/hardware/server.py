@@ -1,0 +1,93 @@
+"""A server: CPU + memory + storage + NIC + power model, with probes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim import Simulation
+from .cpu import Cpu, CpuSpec
+from .memory import Memory, MemorySpec
+from .nic import Nic, NicSpec
+from .power import PowerSpec
+from .storage import Storage, StorageSpec
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Full static description of a server model."""
+
+    platform: str                  # "edison" or "dell" (used for RTT tables)
+    cpu: CpuSpec
+    memory: MemorySpec
+    storage: StorageSpec
+    nic: NicSpec
+    power: PowerSpec
+    node_cost_usd: float = 0.0
+
+
+class Server:
+    """Runtime server instance living inside one simulation."""
+
+    def __init__(self, sim: Simulation, spec: ServerSpec, name: str):
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.cpu = Cpu(sim, spec.cpu, name=f"{name}.cpu")
+        self.memory = Memory(sim, spec.memory, name=f"{name}.mem")
+        self.storage = Storage(sim, spec.storage, name=f"{name}.disk")
+        self.nic = Nic(sim, spec.nic, name=f"{name}.nic")
+        self._probe_time = sim.now
+        self._probe_cpu_busy = 0.0
+        self._probe_disk_busy = 0.0
+        self._probe_nic_bytes = 0.0
+
+    @property
+    def platform(self) -> str:
+        return self.spec.platform
+
+    # -- utilisation probing -------------------------------------------
+
+    def utilization_window(self) -> Dict[str, float]:
+        """Mean per-component utilisation since the previous call.
+
+        Returns a dict with keys ``cpu``, ``mem``, ``disk``, ``net`` in
+        [0, 1].  The power meter calls this once per sampling interval;
+        windowed averages avoid aliasing that instantaneous probes would
+        suffer at coarse sampling rates.
+        """
+        now = self.sim.now
+        dt = now - self._probe_time
+        cpu_busy = self.cpu.busy_vcore_seconds()
+        disk_busy = self.storage.channel.busy_time()
+        nic_bytes = self.nic.total_bytes
+        if dt <= 0:
+            window = {
+                "cpu": self.cpu.utilization(),
+                "mem": self.memory.utilization(),
+                "disk": self.storage.utilization(),
+                "net": self.nic.utilization(),
+            }
+        else:
+            nic_rate = (nic_bytes - self._probe_nic_bytes) / dt
+            window = {
+                "cpu": (cpu_busy - self._probe_cpu_busy)
+                       / (self.cpu.vcores.capacity * dt),
+                "mem": self.memory.utilization(),
+                "disk": (disk_busy - self._probe_disk_busy) / dt,
+                "net": min(1.0, nic_rate / self.nic.spec.bytes_per_second),
+            }
+        self._probe_time = now
+        self._probe_cpu_busy = cpu_busy
+        self._probe_disk_busy = disk_busy
+        self._probe_nic_bytes = nic_bytes
+        return window
+
+    def power_now(self, utilization: Optional[Dict[str, float]] = None) -> float:
+        """Wall power for the given (or freshly probed) utilisation."""
+        if utilization is None:
+            utilization = self.utilization_window()
+        return self.spec.power.power(utilization)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Server {self.name} ({self.platform})>"

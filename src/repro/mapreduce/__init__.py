@@ -1,0 +1,21 @@
+"""The Section 5.2 MapReduce substrate: HDFS, YARN, job runtime, jobs."""
+
+from .config import HadoopConfig, default_config
+from .costs import ALLOC_LEAD_S, JVM_START_MI, JobCosts
+from .hdfs import Hdfs, HdfsBlock, HdfsFile
+from .jobs import JOB_FACTORIES, TABLE8_JOBS
+from .runtime import JobReport, JobRunner, JobSpec, JobTimeline, run_job
+from .scaling import (
+    DELL_SIZES, EDISON_SIZES, ScalingGrid, efficiency_table,
+    paper_energies, paper_mean_speedup, paper_times, run_scaling_grid,
+)
+from .yarn import ContainerGrant, NodeManager, YarnScheduler
+
+__all__ = [
+    "ALLOC_LEAD_S", "DELL_SIZES", "EDISON_SIZES", "ScalingGrid",
+    "efficiency_table", "paper_energies", "paper_mean_speedup",
+    "paper_times", "run_scaling_grid", "ContainerGrant", "HadoopConfig", "Hdfs", "HdfsBlock",
+    "HdfsFile", "JOB_FACTORIES", "JVM_START_MI", "JobCosts", "JobReport",
+    "JobRunner", "JobSpec", "JobTimeline", "NodeManager", "TABLE8_JOBS",
+    "YarnScheduler", "default_config", "run_job",
+]

@@ -1,0 +1,90 @@
+"""CPU cost model for MapReduce tasks, and how it was calibrated.
+
+Structure
+---------
+Each job carries per-phase CPU path lengths (MI per MB) plus a
+*per-platform Java path factor*.  The factor captures what the paper
+itself highlights as its most surprising finding: the measured
+capability gap between the platforms is workload-dependent and far from
+nameplate.  Running 24 concurrent JVM containers on two hyper-threaded
+Xeons inflates per-byte path length (cache/TLB pressure, GC, NUMA
+traffic) in ways a Dhrystone rating cannot predict, and differently for
+a shuffle-heavy wordcount than for an arithmetic pi loop.
+
+Calibration protocol (documented per job in jobs/*.py):
+
+1. Phase path lengths are set from the full-scale Edison run (35
+   slaves) of Table 8, with the Edison factor pinned at 1.0.
+2. The Dell factor is then set from the full-scale Dell run (2 slaves).
+3. Every other Table 8 cell — Edison at 17/8/4 slaves, Dell at 1 — is a
+   *prediction* of the simulator, compared in the benchmark harness.
+
+Fixed framework overheads below are shared by all jobs and platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+#: Wall-clock floor of container launch that is not CPU (fork/exec,
+#: classpath scan I/O, NM bookkeeping).
+TASK_LAUNCH_S = 2.0
+#: Task commit/teardown wall time.
+TASK_COMMIT_S = 0.8
+#: CPU cost of starting a task JVM and initialising the task (MI).  A
+#: Hadoop task JVM loads ~10k classes and initialises the whole
+#: MapReduce runtime; tens of seconds on a 500 MHz Atom.  This constant
+#: dominates the 500-container logcount job, exactly as the paper's
+#: container-overhead discussion predicts.
+JVM_START_MI = 16000.0
+
+#: Per-platform growth of the Java path factor with container density
+#: (concurrent containers per vcore beyond one).  Co-scheduling 24
+#: heavyweight JVMs on 12 hyper-threaded Xeon threads thrashes shared
+#: caches and the memory system; the Edison's two small in-order cores
+#: with 150 MB heaps show no such cliff.  Calibrated from the
+#: wordcount-vs-wordcount2 pair on each platform.
+DENSITY_BETA: Mapping[str, float] = {"edison": 0.0, "dell": 1.0}
+
+
+def effective_factor(costs: "JobCosts", platform: str,
+                     containers_per_vcore: float) -> float:
+    """Java path factor adjusted for container density."""
+    beta = DENSITY_BETA.get(platform, 0.0)
+    penalty = 1.0 + beta * max(0.0, containers_per_vcore - 1.0)
+    return costs.factor(platform) * penalty
+
+#: Job-setup lead before the first containers start computing: AM
+#: launch, job init, split computation, first scheduling rounds.  Read
+#: off Figures 12/15 (CPU rises at ~45 s on Edison, ~20 s on Dell; the
+#: paper calls the Edison lead "about 2.3 times longer").
+ALLOC_LEAD_S: Mapping[str, float] = {"edison": 38.0, "dell": 16.0}
+
+#: Slices each CPU burst is diced into so FIFO vcore queues approximate
+#: the fair sharing a kernel scheduler provides across containers.
+CPU_SLICES = 8
+
+
+@dataclass(frozen=True)
+class JobCosts:
+    """Per-phase CPU path lengths for one job."""
+
+    #: Map-function work per MB of input.
+    map_mi_per_mb: float
+    #: Sort/serialise/spill work per MB of map output (pre-combine).
+    sort_mi_per_mb: float
+    #: Merge+reduce work per MB of reduce input.
+    reduce_mi_per_mb: float
+    #: Fixed per-map-task CPU (pi's sampling loop lives here).
+    map_fixed_mi: float = 0.0
+    #: Per-platform Java path factor (see module docstring).
+    java_factor: Mapping[str, float] = field(
+        default_factory=lambda: {"edison": 1.0, "dell": 1.0})
+
+    def factor(self, platform: str) -> float:
+        try:
+            return self.java_factor[platform]
+        except KeyError:
+            raise ValueError(f"no java factor for platform {platform!r}") \
+                from None

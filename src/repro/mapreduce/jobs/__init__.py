@@ -1,0 +1,32 @@
+"""Job library: the six Table 8 workloads plus teragen/teravalidate.
+
+``JOB_FACTORIES`` maps each job name to a factory
+``(platform, slaves) -> (JobSpec, HadoopConfig)`` that applies the
+paper's per-platform, per-cluster-size tuning.
+"""
+
+from .logcount import logcount2_job, logcount_job
+from .pi import pi_job
+from .terasort import teragen_job, terasort_job, teravalidate_job
+from .wordcount import wordcount2_job, wordcount_job
+
+JOB_FACTORIES = {
+    "wordcount": wordcount_job,
+    "wordcount2": wordcount2_job,
+    "logcount": logcount_job,
+    "logcount2": logcount2_job,
+    "pi": pi_job,
+    "terasort": terasort_job,
+    "teragen": teragen_job,
+    "teravalidate": teravalidate_job,
+}
+
+#: The jobs Table 8 reports on.
+TABLE8_JOBS = ("wordcount", "wordcount2", "logcount", "logcount2", "pi",
+               "terasort")
+
+__all__ = [
+    "JOB_FACTORIES", "TABLE8_JOBS", "logcount2_job", "logcount_job",
+    "pi_job", "teragen_job", "terasort_job", "teravalidate_job",
+    "wordcount2_job", "wordcount_job",
+]

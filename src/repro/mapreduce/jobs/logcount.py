@@ -1,0 +1,81 @@
+"""The logcount and optimized logcount2 jobs (Section 5.2.2).
+
+logcount extracts a ``<date level, 1>`` pair per log line — a much
+lighter map than wordcount with far fewer output records.  The original
+job keeps 500 input files (500 containers, the paper's worst case for
+coordination overhead) but does set the combiner; logcount2 also
+combines the input files down to one container per vcore.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...workloads import logcount_dataset
+from ..config import HadoopConfig, default_config
+from ..costs import JobCosts
+from ..runtime import JobSpec
+
+#: Fitted per the costs.py protocol.  logcount's wall time is dominated
+#: by 500 task-JVM startups, so its per-byte path lengths are small.
+LOGCOUNT_COSTS = JobCosts(
+    map_mi_per_mb=546.0,
+    sort_mi_per_mb=198.0,
+    reduce_mi_per_mb=397.0,
+    java_factor={"edison": 1.0, "dell": 2.30},
+)
+
+LOGCOUNT2_COSTS = JobCosts(
+    map_mi_per_mb=808.0,
+    sort_mi_per_mb=294.0,
+    reduce_mi_per_mb=588.0,
+    java_factor={"edison": 1.0, "dell": 4.52},
+)
+
+MAP_MEM = {"edison": 150, "dell": 500}
+REDUCE_MEM = {"edison": 300, "dell": 1024}
+COMBINED_MEM = {"edison": 300, "dell": 1024}
+
+
+def _vcores_total(platform: str, slaves: int) -> int:
+    config = default_config(platform)
+    return config.node_vcores * slaves
+
+
+def logcount_job(platform: str, slaves: int) -> tuple[JobSpec, HadoopConfig]:
+    """The original logcount: 500 containers, combiner enabled."""
+    dataset = logcount_dataset()
+    spec = JobSpec(
+        name="logcount",
+        costs=LOGCOUNT_COSTS,
+        map_tasks=dataset.file_count,
+        reduce_tasks=_vcores_total(platform, slaves),
+        map_mem_mb=MAP_MEM[platform],
+        reduce_mem_mb=REDUCE_MEM[platform],
+        dataset=dataset,
+        combiner=True,
+        output_ratio=0.01,
+    )
+    return spec, default_config(platform)
+
+
+def logcount2_job(platform: str, slaves: int) -> tuple[JobSpec, HadoopConfig]:
+    """The optimized logcount: combined inputs, one container per vcore."""
+    dataset = logcount_dataset()
+    maps = _vcores_total(platform, slaves)
+    config = default_config(platform)
+    split_mb = math.ceil(dataset.total_bytes / maps / 1e6)
+    if split_mb > config.block_mb:
+        config = config.with_block_mb(split_mb)
+    spec = JobSpec(
+        name="logcount2",
+        costs=LOGCOUNT2_COSTS,
+        map_tasks=maps,
+        reduce_tasks=maps,
+        map_mem_mb=COMBINED_MEM[platform],
+        reduce_mem_mb=COMBINED_MEM[platform],
+        dataset=dataset,
+        combiner=True,
+        output_ratio=0.01,
+    )
+    return spec, config

@@ -1,0 +1,94 @@
+"""Teragen / Terasort / Teravalidate (Section 5.2.4).
+
+10 GB of 100-byte records (scaled down from the canonical 1 TB), 64 MB
+blocks on *both* clusters for fairness, 168 map tasks, 24/70 reduce
+tasks.  Terasort's map is the identity (output ratio 1.0), so the whole
+input crosses the shuffle and gets written back through the HDFS
+replication pipeline — the most data-movement-bound job in the paper,
+and the one where Edison's aggregate disk/NIC advantage shows.
+
+Only the Terasort stage is timed and metered, as in the paper.
+"""
+
+from __future__ import annotations
+
+from ...core import paperdata as paper
+from ...workloads import terasort_dataset
+from ..config import HadoopConfig, default_config
+from ..costs import JobCosts
+from ..runtime import JobSpec
+
+TERASORT_COSTS = JobCosts(
+    map_mi_per_mb=167.0,
+    sort_mi_per_mb=500.0,
+    reduce_mi_per_mb=889.0,
+    java_factor={"edison": 1.0, "dell": 2.26},
+)
+
+MAP_MEM = {"edison": 300, "dell": 1024}
+REDUCE_MEM = {"edison": 300, "dell": 1024}
+
+
+def _vcores_total(platform: str, slaves: int) -> int:
+    config = default_config(platform)
+    return config.node_vcores * slaves
+
+
+def terasort_job(platform: str, slaves: int) -> tuple[JobSpec, HadoopConfig]:
+    """The timed Terasort stage."""
+    dataset = terasort_dataset()
+    config = default_config(platform).with_block_mb(paper.TERASORT_BLOCK_MB)
+    spec = JobSpec(
+        name="terasort",
+        costs=TERASORT_COSTS,
+        map_tasks=dataset.file_count,
+        reduce_tasks=_vcores_total(platform, slaves),
+        map_mem_mb=MAP_MEM[platform],
+        reduce_mem_mb=REDUCE_MEM[platform],
+        dataset=dataset,
+        combiner=False,          # sorting cannot be combined
+        output_ratio=1.0,        # the sorted data is written back whole
+    )
+    return spec, config
+
+
+def teragen_job(platform: str, slaves: int) -> tuple[JobSpec, HadoopConfig]:
+    """Teragen: map-only generation of the terasort input."""
+    dataset = terasort_dataset()
+    config = default_config(platform).with_block_mb(paper.TERASORT_BLOCK_MB)
+    costs = JobCosts(
+        map_mi_per_mb=120.0, sort_mi_per_mb=0.0, reduce_mi_per_mb=0.0,
+        java_factor=dict(TERASORT_COSTS.java_factor))
+    spec = JobSpec(
+        name="teragen",
+        costs=costs,
+        map_tasks=dataset.file_count,
+        reduce_tasks=0,
+        map_mem_mb=MAP_MEM[platform],
+        reduce_mem_mb=REDUCE_MEM[platform],
+        dataset=dataset,
+        combiner=False,
+        output_ratio=0.0,
+    )
+    return spec, config
+
+
+def teravalidate_job(platform: str, slaves: int) -> tuple[JobSpec, HadoopConfig]:
+    """Teravalidate: one map per terasort reducer output, one reducer."""
+    dataset = terasort_dataset()
+    config = default_config(platform).with_block_mb(paper.TERASORT_BLOCK_MB)
+    costs = JobCosts(
+        map_mi_per_mb=90.0, sort_mi_per_mb=0.0, reduce_mi_per_mb=10.0,
+        java_factor=dict(TERASORT_COSTS.java_factor))
+    spec = JobSpec(
+        name="teravalidate",
+        costs=costs,
+        map_tasks=_vcores_total(platform, slaves),
+        reduce_tasks=1,
+        map_mem_mb=MAP_MEM[platform],
+        reduce_mem_mb=REDUCE_MEM[platform],
+        dataset=dataset,
+        combiner=False,
+        output_ratio=0.0,
+    )
+    return spec, config

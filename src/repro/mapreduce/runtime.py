@@ -1,0 +1,492 @@
+"""The MapReduce job runtime: map waves, shuffle, merge, reduce.
+
+A :class:`JobRunner` executes one job specification on a Hadoop cluster
+(one Dell master + N slaves).  Every phase consumes the simulated
+hardware it would on the real testbed:
+
+* container allocation rides NodeManager heartbeats (YARN scheduler),
+* JVM/task start burns CPU on the container's node,
+* input splits are read from HDFS (local disk ~95 % of the time),
+* map/sort CPU is diced into slices so concurrent containers share
+  vcores fairly,
+* map output spills to the local disk (page-cache-buffered),
+* shuffle moves each node's map output to reducers as fluid flows,
+* reducers merge (spilling to disk when input exceeds their heap),
+  reduce, and write output through the HDFS replication pipeline.
+
+Job wall time and the power-meter integral over it are the quantities
+Table 8 reports; progress/utilisation/power time series reproduce
+Figures 12-17.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import math
+from typing import Dict, List, Optional
+
+from ..cluster import Cluster, hadoop_cluster
+from ..core import paperdata as paper
+from ..hardware import ServerSpec
+from ..sim import RngStreams, Simulation, TimeSeries
+from ..workloads import Dataset
+from . import costs as C
+from .config import HadoopConfig, default_config
+from .hdfs import Hdfs
+from .yarn import YarnScheduler
+
+#: Concurrent fetch streams per reducer (mapreduce.reduce.shuffle.parallelcopies).
+SHUFFLE_PARALLELISM = 5
+#: Fraction of a reducer's heap usable for in-memory merge.
+MERGE_BUFFER_FRACTION = 0.7
+
+
+#: Attempts Hadoop makes per task before failing the job
+#: (mapreduce.map.maxattempts).
+MAX_TASK_ATTEMPTS = 4
+
+
+class TaskFailed(Exception):
+    """A task attempt died (failure injection or fault model)."""
+
+
+class JobFailed(Exception):
+    """A task exhausted its attempts; the whole job is failed."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything needed to run one MapReduce job."""
+
+    name: str
+    costs: C.JobCosts
+    map_tasks: int
+    reduce_tasks: int
+    map_mem_mb: int
+    reduce_mem_mb: int
+    dataset: Optional[Dataset] = None
+    combiner: bool = False
+    #: Reduce-output bytes per reduce-input byte.
+    output_ratio: float = 0.05
+    #: Probability that any single map attempt dies mid-flight (fault
+    #: injection; Hadoop retries the attempt elsewhere).
+    map_failure_rate: float = 0.0
+
+    def __post_init__(self):
+        if self.map_tasks < 1 or self.reduce_tasks < 0:
+            raise ValueError("map_tasks >= 1 and reduce_tasks >= 0 required")
+        if self.map_mem_mb < 1 or self.reduce_mem_mb < 1:
+            raise ValueError("container memories must be >= 1 MB")
+        if self.output_ratio < 0:
+            raise ValueError("output_ratio must be >= 0")
+        if not 0 <= self.map_failure_rate < 1:
+            raise ValueError("map_failure_rate must be in [0, 1)")
+
+    @property
+    def input_bytes(self) -> int:
+        return self.dataset.total_bytes if self.dataset else 0
+
+    @property
+    def map_output_bytes(self) -> float:
+        """Map output volume *before* any combiner."""
+        if self.dataset is None:
+            return 0.0
+        return self.input_bytes * self.dataset.map_output_ratio
+
+    @property
+    def shuffle_bytes(self) -> float:
+        """Bytes that actually move to reducers (after the combiner)."""
+        if self.dataset is None:
+            return 0.0
+        survival = self.dataset.combine_survival if self.combiner else 1.0
+        return self.map_output_bytes * survival
+
+
+@dataclass
+class JobTimeline:
+    """Time series behind the Figure 12-17 plots."""
+
+    map_progress: TimeSeries = field(
+        default_factory=lambda: TimeSeries("map"))
+    reduce_progress: TimeSeries = field(
+        default_factory=lambda: TimeSeries("reduce"))
+    power_w: TimeSeries = field(default_factory=lambda: TimeSeries("power"))
+    cpu: TimeSeries = field(default_factory=lambda: TimeSeries("cpu"))
+    mem: TimeSeries = field(default_factory=lambda: TimeSeries("mem"))
+
+
+@dataclass(frozen=True)
+class JobReport:
+    """Outcome of one job run — one cell of Table 8 plus its timeline."""
+
+    job: str
+    platform: str
+    slaves: int
+    seconds: float
+    joules: float
+    locality_fraction: float
+    timeline: JobTimeline
+
+    @property
+    def mean_watts(self) -> float:
+        return self.joules / self.seconds
+
+    @property
+    def work_per_joule(self) -> float:
+        """Jobs per joule — the paper's comparison metric."""
+        return 1.0 / self.joules
+
+
+class JobRunner:
+    """Executes MapReduce jobs on a freshly built Hadoop cluster."""
+
+    def __init__(self, platform: str, slaves: int,
+                 config: Optional[HadoopConfig] = None,
+                 seed: int = 20160901,
+                 edison_spec: Optional[ServerSpec] = None,
+                 master_spec: Optional[ServerSpec] = None):
+        self.platform = platform
+        self.slaves = slaves
+        self.config = config if config is not None \
+            else default_config(platform)
+        self.sim = Simulation()
+        self.rng = RngStreams(seed)
+        kwargs = {}
+        if edison_spec is not None:
+            kwargs["edison_spec"] = edison_spec
+        if master_spec is not None:
+            kwargs["master_spec"] = master_spec
+        self.cluster: Cluster = hadoop_cluster(self.sim, platform, slaves,
+                                               **kwargs)
+        self.slave_servers = self.cluster.metered_servers
+        self.hdfs = Hdfs(self.sim, self.cluster.topology, self.slave_servers,
+                         self.config.block_bytes, self.config.replication,
+                         self.rng.stream("hdfs"))
+        self.yarn = YarnScheduler(self.sim, self.slave_servers, self.config,
+                                  self.rng.stream("yarn"),
+                                  master=self.cluster.servers["master"])
+        self.meter = self.cluster.attach_meter(interval=1.0)
+        self._fault_rng = self.rng.stream("faults")
+        self._reserve_daemon_memory()
+
+    def _reserve_daemon_memory(self) -> None:
+        """Pin OS + datanode + node-manager memory (Section 5.2 survey)."""
+        daemon_mb = (paper.S52_EDISON_DAEMON_MEM_MB
+                     if self.platform == "edison"
+                     else paper.S52_DELL_DAEMON_MEM_MB)
+        for server in self.slave_servers:
+            server.memory.reserve(daemon_mb * 1e6)
+        # The master's steady footprint (excluded from energy accounting).
+        master = self.cluster.servers["master"]
+        master.memory.reserve(
+            paper.S52_MASTER_MEM * master.memory.capacity_bytes)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _cpu(self, node_name: str, mi: float):
+        """Process generator: run ``mi`` of job CPU on ``node_name``.
+
+        Work is diced into slices so FIFO vcore queues approximate fair
+        sharing across the containers the paper co-schedules per vcore.
+        """
+        server = self.cluster.servers[node_name]
+        slice_mi = mi / C.CPU_SLICES
+        for _ in range(C.CPU_SLICES):
+            yield from server.cpu.execute(slice_mi)
+
+    def _task_overhead(self, node_name: str, factor: float):
+        """Container launch: wall floor plus JVM start CPU."""
+        yield self.sim.timeout(C.TASK_LAUNCH_S)
+        yield from self._cpu(node_name, C.JVM_START_MI * factor)
+
+    # -- the job ------------------------------------------------------------
+
+    def run(self, spec: JobSpec, sample_interval: float = 1.0,
+            deadline_s: float = 100_000.0) -> JobReport:
+        """Run ``spec`` to completion and report time, energy, timeline.
+
+        ``deadline_s`` is a watchdog: the periodic samplers keep the
+        event calendar alive indefinitely, so a stalled job would spin
+        forever; exceeding the deadline raises instead.
+        """
+        timeline = JobTimeline()
+        state = _JobState(self.sim, spec, self.config.slowstart)
+        input_files = self._stage_input(spec)
+        done = self.sim.process(self._job(spec, state, input_files),
+                                name=f"job-{spec.name}")
+        self.meter.start()
+        self.sim.process(self._sampler(state, timeline, sample_interval,
+                                       done))
+        self.sim.run(until=self.sim.any_of([done,
+                                            self.sim.timeout(deadline_s)]))
+        if not done.processed:
+            raise RuntimeError(
+                f"job {spec.name!r} still running at the {deadline_s} s "
+                f"watchdog deadline: {state.maps_done}/{spec.map_tasks} "
+                f"maps, {state.reduces_done}/{spec.reduce_tasks} reduces")
+        end = self.sim.now
+        self.meter.sample()                      # close the energy integral
+        timeline.power_w.record(end, self.meter.series.values[-1])
+        joules = self.meter.series.integrate()
+        return JobReport(
+            job=spec.name, platform=self.platform, slaves=self.slaves,
+            seconds=end, joules=joules,
+            locality_fraction=state.locality_fraction,
+            timeline=timeline)
+
+    def _stage_input(self, spec: JobSpec) -> List:
+        """Place one HDFS file per map task (the paper's split tuning)."""
+        if spec.dataset is None:
+            return [None] * spec.map_tasks
+        split = max(1, spec.input_bytes // spec.map_tasks)
+        return [self.hdfs.stage_file(f"{spec.name}-in-{i:05d}", split)
+                for i in range(spec.map_tasks)]
+
+    def _sampler(self, state: "_JobState", timeline: JobTimeline,
+                 interval: float, done) -> None:
+        while not done.processed:
+            now = self.sim.now
+            timeline.map_progress.record(
+                now, state.maps_done / state.spec.map_tasks)
+            reduces = max(1, state.spec.reduce_tasks)
+            timeline.reduce_progress.record(now, state.reduces_done / reduces)
+            if self.meter.series.times:
+                timeline.power_w.record(now, self.meter.series.values[-1])
+                timeline.cpu.record(now, self.meter.per_component["cpu"].values[-1])
+                timeline.mem.record(now, self.meter.per_component["mem"].values[-1])
+            yield self.sim.timeout(interval)
+
+    def _density(self, mem_mb: int, tasks: int) -> float:
+        """Concurrent containers per vcore during one phase."""
+        per_node_slots = max(1, self.config.node_task_mem_mb // mem_mb)
+        per_node_tasks = math.ceil(tasks / len(self.slave_servers))
+        return min(per_node_slots, per_node_tasks) / self.config.node_vcores
+
+    def _job(self, spec: JobSpec, state: "_JobState",
+             input_files: List):
+        map_factor = C.effective_factor(
+            spec.costs, self.platform,
+            self._density(spec.map_mem_mb, spec.map_tasks))
+        reduce_factor = C.effective_factor(
+            spec.costs, self.platform,
+            self._density(spec.reduce_mem_mb, max(1, spec.reduce_tasks)))
+        # Application-master spin-up + job initialisation lead.
+        yield self.sim.timeout(C.ALLOC_LEAD_S[self.platform])
+        pool = _InputPool(input_files, self.rng.stream("am"))
+        maps = [self.sim.process(
+            self._map_task(spec, state, pool, map_factor),
+            name=f"map-{i}") for i in range(spec.map_tasks)]
+        reduces = []
+        if spec.reduce_tasks > 0:
+            yield state.slowstart_event
+            # Launch at most half the reduce slots while maps still run,
+            # as Hadoop's headroom limit does — otherwise reducers (which
+            # block on map completion) can hold every container while the
+            # map tail starves: a scheduling deadlock.
+            slots = len(self.slave_servers) * max(
+                1, self.config.node_task_mem_mb // spec.reduce_mem_mb)
+            early = min(spec.reduce_tasks, max(1, slots // 2))
+            reduces = [self.sim.process(
+                self._reduce_task(spec, state, reduce_factor),
+                name=f"red-{i}") for i in range(early)]
+        yield self.sim.all_of(maps)
+        state.all_maps_done.succeed()
+        if spec.reduce_tasks > 0:
+            reduces.extend(self.sim.process(
+                self._reduce_task(spec, state, reduce_factor),
+                name=f"red-{i}") for i in range(early, spec.reduce_tasks))
+        if reduces:
+            yield self.sim.all_of(reduces)
+
+    # -- map side ----------------------------------------------------------
+
+    def _map_task(self, spec: JobSpec, state: "_JobState",
+                  pool: "_InputPool", factor: float):
+        hdfs_file = None
+        for attempt in range(MAX_TASK_ATTEMPTS):
+            # Containers are requested anonymously and the application
+            # master assigns whichever pending split is local to the
+            # node that answered — how Hadoop's AM achieves its ~95 %
+            # data-locality, and why the paper sees it on both clusters.
+            grant = yield from self.yarn.allocate(spec.map_mem_mb)
+            if attempt == 0:
+                hdfs_file, local = pool.take(grant.node)
+                if hdfs_file is not None:
+                    state.placed_maps += 1
+                    if local:
+                        state.local_maps += 1
+            try:
+                out_bytes = yield from self._map_attempt(
+                    spec, grant.node, hdfs_file, factor)
+            except TaskFailed:
+                state.failed_attempts += 1
+                continue
+            finally:
+                self.yarn.release(grant)
+            state.record_map_output(grant.node, out_bytes)
+            state.map_finished(self.sim)
+            return
+        raise JobFailed(
+            f"{spec.name}: a map task died {MAX_TASK_ATTEMPTS} times")
+
+    def _map_attempt(self, spec: JobSpec, node: str, hdfs_file,
+                     factor: float):
+        """One attempt of one map task on ``node``; may raise TaskFailed."""
+        yield from self._task_overhead(node, factor)
+        input_bytes = hdfs_file.size_bytes if hdfs_file else 0
+        if hdfs_file is not None:
+            for block in hdfs_file.blocks:
+                yield from self.hdfs.read_block(node, block)
+        if (spec.map_failure_rate > 0
+                and self._fault_rng.random() < spec.map_failure_rate):
+            # The attempt dies after consuming real resources.
+            raise TaskFailed(f"injected failure on {node}")
+        out_bytes = (input_bytes * spec.dataset.map_output_ratio
+                     if spec.dataset else 0.0)
+        cpu_mi = (spec.costs.map_fixed_mi
+                  + spec.costs.map_mi_per_mb * input_bytes / 1e6
+                  + spec.costs.sort_mi_per_mb * out_bytes / 1e6) * factor
+        yield from self._cpu(node, cpu_mi)
+        if spec.combiner and spec.dataset:
+            out_bytes *= spec.dataset.combine_survival
+        if out_bytes > 0:
+            server = self.cluster.servers[node]
+            yield from server.storage.write(out_bytes, buffered=True)
+        yield self.sim.timeout(C.TASK_COMMIT_S)
+        yield from self.yarn.master_commit()
+        return out_bytes
+
+    # -- reduce side ----------------------------------------------------------
+
+    def _reduce_task(self, spec: JobSpec, state: "_JobState", factor: float):
+        grant = yield from self.yarn.allocate(spec.reduce_mem_mb)
+        try:
+            yield from self._task_overhead(grant.node, factor)
+            # Shuffle can begin once slowstart fired (we are running), but
+            # the tail of map output only exists when all maps are done.
+            yield state.all_maps_done
+            input_bytes = yield from self._shuffle(spec, state, grant.node)
+            buffer_bytes = spec.reduce_mem_mb * 1e6 * MERGE_BUFFER_FRACTION
+            server = self.cluster.servers[grant.node]
+            if input_bytes > buffer_bytes:
+                # On-disk merge round: spill and re-read what overflows.
+                overflow = input_bytes - buffer_bytes
+                yield from server.storage.write(overflow, buffered=True)
+                yield from server.storage.read(overflow, buffered=True)
+            yield from self._cpu(
+                grant.node,
+                spec.costs.reduce_mi_per_mb * input_bytes / 1e6 * factor)
+            out = input_bytes * spec.output_ratio
+            if out > 0:
+                yield from self.hdfs.write(grant.node, out)
+            yield self.sim.timeout(C.TASK_COMMIT_S)
+            yield from self.yarn.master_commit()
+        finally:
+            self.yarn.release(grant)
+        state.reduces_done += 1
+
+    def _shuffle(self, spec: JobSpec, state: "_JobState",
+                 node: str) -> float:
+        """Fetch this reducer's partition from every map-output node."""
+        share = 1.0 / spec.reduce_tasks
+        fetches = [(source, nbytes * share)
+                   for source, nbytes in state.map_output_by_node.items()
+                   if nbytes > 0]
+        total = 0.0
+        for start in range(0, len(fetches), SHUFFLE_PARALLELISM):
+            batch = fetches[start:start + SHUFFLE_PARALLELISM]
+            legs = []
+            for source, nbytes in batch:
+                total += nbytes
+                legs.append(self.sim.process(
+                    self._fetch(source, node, nbytes)))
+            yield self.sim.all_of(legs)
+        return total
+
+    def _fetch(self, source: str, dest: str, nbytes: float):
+        server = self.cluster.servers[source]
+        yield from server.storage.read(nbytes, buffered=True)
+        if source != dest:
+            yield self.cluster.topology.network.start_flow(
+                self.cluster.topology.path(source, dest), nbytes)
+
+
+class _InputPool:
+    """Pending map inputs, handed out locality-first to granted nodes.
+
+    A small fraction of assignments miss locality even when a local
+    split exists — grant/heartbeat races and straggler rescheduling in
+    the real AM — which is why the paper reports ~95 % rather than
+    100 % data-local maps on both clusters.
+    """
+
+    MISS_PROBABILITY = 1.0 - paper.S52_DATA_LOCAL_FRACTION
+
+    def __init__(self, input_files: List, rng):
+        self.pending: List = list(input_files)
+        self.rng = rng
+
+    def take(self, node: str):
+        """Pop a pending input, preferring one with a replica on ``node``.
+
+        Returns ``(hdfs_file, was_local)``; ``(None, False)`` for jobs
+        without input data (pi).
+        """
+        if not self.pending:
+            raise RuntimeError("more map workers than pending inputs")
+        if self.pending[0] is None:
+            return self.pending.pop(), False
+        if self.rng.random() >= self.MISS_PROBABILITY:
+            for index, hdfs_file in enumerate(self.pending):
+                replicas = hdfs_file.blocks[0].replicas \
+                    if hdfs_file.blocks else ()
+                if node in replicas:
+                    self.pending.pop(index)
+                    return hdfs_file, True
+        hdfs_file = self.pending.pop(0)
+        replicas = hdfs_file.blocks[0].replicas if hdfs_file.blocks else ()
+        return hdfs_file, node in replicas
+
+
+class _JobState:
+    """Mutable bookkeeping shared by a job's tasks."""
+
+    def __init__(self, sim: Simulation, spec: JobSpec,
+                 slowstart: float):
+        self.spec = spec
+        self.maps_done = 0
+        self.reduces_done = 0
+        self.map_output_by_node: Dict[str, float] = {}
+        self.slowstart_event = sim.event()
+        self.all_maps_done = sim.event()
+        self.local_maps = 0
+        self.placed_maps = 0
+        self.failed_attempts = 0
+        self._slowstart_at = max(1, round(slowstart * spec.map_tasks))
+
+    @property
+    def locality_fraction(self) -> float:
+        if self.placed_maps == 0:
+            return 1.0   # no placement-sensitive work (e.g. pi)
+        return self.local_maps / self.placed_maps
+
+    def record_map_output(self, node: str, nbytes: float) -> None:
+        self.map_output_by_node[node] = (
+            self.map_output_by_node.get(node, 0.0) + nbytes)
+
+    def map_finished(self, sim: Simulation) -> None:
+        self.maps_done += 1
+        if (self.maps_done >= self._slowstart_at
+                and not self.slowstart_event.triggered):
+            self.slowstart_event.succeed()
+
+
+def run_job(platform: str, slaves: int, spec: JobSpec,
+            config: Optional[HadoopConfig] = None, seed: int = 20160901,
+            edison_spec: Optional[ServerSpec] = None,
+            master_spec: Optional[ServerSpec] = None,
+            deadline_s: float = 100_000.0) -> JobReport:
+    """Convenience wrapper: build a fresh cluster and run one job."""
+    runner = JobRunner(platform, slaves, config=config, seed=seed,
+                       edison_spec=edison_spec, master_spec=master_spec)
+    return runner.run(spec, deadline_s=deadline_s)

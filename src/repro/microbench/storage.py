@@ -1,0 +1,83 @@
+"""dd / ioping storage benchmark models (Section 4.3, Table 5).
+
+``dd`` streams a large file through the device — with ``oflag=dsync``
+every block hits the medium (direct), without it the page cache absorbs
+writes (buffered).  ``ioping`` issues small requests one at a time and
+reports mean access latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.server import Server
+from ..sim import Simulation
+
+
+@dataclass(frozen=True)
+class DdResult:
+    """Throughput reported by one dd run."""
+
+    op: str
+    buffered: bool
+    nbytes: float
+    elapsed_s: float
+
+    @property
+    def rate_bps(self) -> float:
+        return self.nbytes / self.elapsed_s
+
+
+def run_dd(sim: Simulation, server: Server, op: str, nbytes: float = 100e6,
+           block_bytes: float = 1e6, buffered: bool = False) -> DdResult:
+    """Stream ``nbytes`` in ``block_bytes`` chunks through the device.
+
+    Direct I/O pays the access latency once per block (each block is
+    committed before the next is issued); buffered I/O pays it once.
+    """
+    if nbytes <= 0 or block_bytes <= 0:
+        raise ValueError("nbytes and block_bytes must be > 0")
+    blocks = max(1, round(nbytes / block_bytes))
+    start = sim.now
+
+    def bench():
+        if buffered:
+            io = server.storage.read if op == "read" else server.storage.write
+            yield from io(nbytes, buffered=True)
+        else:
+            for _ in range(blocks):
+                io = (server.storage.read if op == "read"
+                      else server.storage.write)
+                yield from io(nbytes / blocks, buffered=False)
+
+    sim.run(until=sim.process(bench()))
+    return DdResult(op=op, buffered=buffered, nbytes=nbytes,
+                    elapsed_s=sim.now - start)
+
+
+@dataclass(frozen=True)
+class IopingResult:
+    """Mean access latency reported by ioping."""
+
+    op: str
+    requests: int
+    mean_latency_s: float
+
+
+def run_ioping(sim: Simulation, server: Server, op: str,
+               requests: int = 20, request_bytes: float = 4096) -> IopingResult:
+    """Issue small serialised requests and report the mean latency."""
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    latencies = []
+
+    def bench():
+        for _ in range(requests):
+            start = sim.now
+            io = server.storage.read if op == "read" else server.storage.write
+            yield from io(request_bytes, buffered=False)
+            latencies.append(sim.now - start)
+
+    sim.run(until=sim.process(bench()))
+    return IopingResult(op=op, requests=requests,
+                        mean_latency_s=sum(latencies) / len(latencies))

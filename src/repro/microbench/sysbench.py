@@ -1,0 +1,105 @@
+"""Sysbench 0.5 models: CPU prime test and memory-transfer test.
+
+``sysbench cpu`` computes all primes below a limit, split into a fixed
+number of events executed by a thread pool; the paper's Figures 2 and 3
+plot total time and mean per-event response time versus thread count.
+``sysbench memory`` streams blocks through the memory system and reports
+the achieved transfer rate for a (block size, thread count) grid
+(Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core import paperdata as paper
+from ..hardware.server import Server
+from ..sim import Simulation
+
+#: Sysbench's default number of events for the CPU test.
+CPU_TEST_EVENTS = 10000
+
+#: Calibration (documented in DESIGN.md §5): Figure 2 shows one Edison
+#: thread finishing the primes-below-20000 test in ~620 s.  At the
+#: Edison's measured 632.3 DMIPS that is 620 * 632.3 ~= 392,000 MI of
+#: total work, i.e. ~39.2 MI per sysbench event.  The same constant
+#: reproduces Figure 3's ~35 s single-thread Dell time via the measured
+#: 11383 DMIPS — the paper's "15-18x faster" observation.
+PRIME_TEST_TOTAL_MI = 392_000.0
+
+
+@dataclass(frozen=True)
+class SysbenchCpuResult:
+    """One (platform, threads) cell of Figures 2/3."""
+
+    threads: int
+    total_time_s: float
+    response_times_s: List[float]
+
+    @property
+    def avg_response_time_s(self) -> float:
+        return sum(self.response_times_s) / len(self.response_times_s)
+
+
+def run_sysbench_cpu(sim: Simulation, server: Server, threads: int,
+                     prime_limit: int = paper.S41_SYSBENCH_PRIME_LIMIT,
+                     events: int = CPU_TEST_EVENTS) -> SysbenchCpuResult:
+    """Run the sysbench CPU test with ``threads`` worker threads.
+
+    ``prime_limit`` scales total work relative to the paper's 20000
+    (cost of trial division grows ~ n^1.5 in the sieve range used).
+    """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    if prime_limit < 2:
+        raise ValueError("prime_limit must be >= 2")
+    scale = (prime_limit / paper.S41_SYSBENCH_PRIME_LIMIT) ** 1.5
+    event_mi = PRIME_TEST_TOTAL_MI * scale / events
+    response_times: List[float] = []
+    remaining = [events]
+
+    def worker():
+        while remaining[0] > 0:
+            remaining[0] -= 1
+            start = sim.now
+            yield from server.cpu.execute(event_mi)
+            response_times.append(sim.now - start)
+
+    start = sim.now
+    workers = [sim.process(worker()) for _ in range(threads)]
+    sim.run(until=sim.all_of(workers))
+    return SysbenchCpuResult(threads=threads, total_time_s=sim.now - start,
+                             response_times_s=response_times)
+
+
+@dataclass(frozen=True)
+class SysbenchMemoryResult:
+    """One (block size, threads) cell of the Section 4.2 sweep."""
+
+    block_bytes: int
+    threads: int
+    transferred_bytes: float
+    elapsed_s: float
+
+    @property
+    def rate_bps(self) -> float:
+        return self.transferred_bytes / self.elapsed_s
+
+
+def run_sysbench_memory(sim: Simulation, server: Server, block_bytes: int,
+                        threads: int,
+                        total_bytes: float = 1e9) -> SysbenchMemoryResult:
+    """Stream ``total_bytes`` through memory and report the rate."""
+    if total_bytes <= 0:
+        raise ValueError("total_bytes must be > 0")
+    rate = server.memory.spec.bandwidth(block_bytes, threads)
+    start = sim.now
+
+    def bench():
+        yield sim.timeout(total_bytes / rate)
+
+    sim.run(until=sim.process(bench()))
+    return SysbenchMemoryResult(block_bytes=block_bytes, threads=threads,
+                                transferred_bytes=total_bytes,
+                                elapsed_s=sim.now - start)

@@ -1,0 +1,13 @@
+"""Network substrate: fluid flows, topology, and TCP establishment."""
+
+from .flows import Flow, FlowNetwork, Segment
+from .tcp import (
+    SYN_RETRY_DELAYS, ConnectionStats, ConnectTimeout, TcpListener, exchange,
+)
+from .topology import TRUNK_BPS, Topology
+
+__all__ = [
+    "ConnectTimeout", "ConnectionStats", "Flow", "FlowNetwork",
+    "SYN_RETRY_DELAYS", "Segment", "TRUNK_BPS", "TcpListener", "Topology",
+    "exchange",
+]

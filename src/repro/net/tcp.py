@@ -1,0 +1,118 @@
+"""TCP connection establishment with SYN-retransmission backoff.
+
+Section 5.1.2 of the paper traces the 1 s / 3 s / 7 s spikes in the Dell
+cluster's response-delay histogram (Figure 11) to dropped SYN packets:
+when a web server's accept queue overflows, the client's kernel
+retransmits the SYN after 1 s, then 2 s, then 4 s — cumulative delays of
+exactly 1, 3 and 7 seconds.  The Edison cluster, having 12x more web
+servers, rarely overflows any single accept queue.
+
+This module models precisely that mechanism: a listening socket with a
+bounded number of *established-connection slots* (file descriptors /
+worker threads / ephemeral ports — the resources the paper tuned with
+``tcp_tw_reuse`` and ulimit) and a bounded SYN backlog.  Connection
+attempts that find the backlog full are silently dropped and retried on
+the standard exponential schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim import Resource, Simulation
+from .topology import Topology
+
+#: Kernel SYN retransmission waits (seconds): retries at +1, +2, +4, ...
+SYN_RETRY_DELAYS = (1.0, 2.0, 4.0, 8.0)
+
+
+class ConnectTimeout(Exception):
+    """All SYN retransmissions exhausted without an accept."""
+
+
+@dataclass
+class ConnectionStats:
+    """Outcome bookkeeping for one establishment attempt."""
+
+    syn_retries: int = 0
+    connect_delay: float = 0.0
+
+
+class TcpListener:
+    """A server-side listening socket.
+
+    Parameters
+    ----------
+    max_connections:
+        Concurrently-established connections the server can hold
+        (bounded by file descriptors, worker threads and ephemeral
+        ports — the knobs Section 5.1.1 says were raised).
+    syn_backlog:
+        Half-open connections the kernel queues before dropping SYNs.
+    """
+
+    def __init__(self, sim: Simulation, name: str,
+                 max_connections: int, syn_backlog: int = 128):
+        if max_connections < 1 or syn_backlog < 1:
+            raise ValueError("max_connections and syn_backlog must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.slots = Resource(sim, capacity=max_connections,
+                              name=f"{name}.connslots")
+        self.syn_backlog = syn_backlog
+        self.syn_drops = 0
+        self.accepted = 0
+
+    @property
+    def established(self) -> int:
+        return self.slots.count
+
+    @property
+    def backlog_full(self) -> bool:
+        """Would a fresh SYN be dropped right now?"""
+        return self.slots.queue_length >= self.syn_backlog
+
+    def connect(self, rtt: float, max_retries: Optional[int] = None):
+        """Process generator: establish a connection to this listener.
+
+        Returns ``(Request, ConnectionStats)``; the request must be
+        released (``listener.close(request)``) when the connection ends.
+        Raises :class:`ConnectTimeout` after the retry budget.
+        """
+        stats = ConnectionStats()
+        start = self.sim.now
+        retries = SYN_RETRY_DELAYS if max_retries is None \
+            else SYN_RETRY_DELAYS[:max_retries]
+        attempt = 0
+        while True:
+            if not self.backlog_full:
+                request = self.slots.request()
+                yield request
+                yield self.sim.timeout(rtt)  # SYN -> SYN/ACK -> ACK
+                self.accepted += 1
+                stats.connect_delay = self.sim.now - start
+                return request, stats
+            self.syn_drops += 1
+            if attempt >= len(retries):
+                stats.connect_delay = self.sim.now - start
+                raise ConnectTimeout(
+                    f"{self.name}: SYN dropped {attempt + 1} times")
+            yield self.sim.timeout(retries[attempt])
+            attempt += 1
+            stats.syn_retries = attempt
+
+    def close(self, request) -> None:
+        """Release the connection slot held by ``request``."""
+        self.slots.release(request)
+
+
+def exchange(sim: Simulation, topology: Topology, client: str, server: str,
+             request_bytes: float, reply_bytes: float):
+    """Process generator: one request/reply exchange on an open connection.
+
+    The request rides the client->server direction, the reply the
+    reverse, both as fair-share fluid flows plus one-way latencies.
+    """
+    yield from topology.transfer(client, server, request_bytes)
+    yield from topology.transfer(server, client, reply_bytes)

@@ -1,0 +1,134 @@
+"""Cluster network topology: racks, trunks, RTTs and flow paths.
+
+The physical layout Section 5.1.1 describes:
+
+* the Dell servers and the client machines share one server room and a
+  1 Gb/s top-of-rack fabric (RTT 0.24 ms between Dell boxes), and
+* the Edison cluster sits in a different room, reached through a single
+  1 Gb/s uplink (Dell-Edison RTT 0.8 ms, Edison-Edison RTT 1.3 ms).
+
+The topology object owns one transmit and one receive
+:class:`~repro.net.flows.Segment` per server plus a duplex inter-room
+trunk, and produces the segment path any bulk flow must traverse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core import paperdata as paper
+from ..hardware.server import Server
+from ..sim import Resource, Simulation
+from .flows import FlowNetwork, Segment
+
+#: Capacity of the single uplink between the two rooms (bytes/s).
+TRUNK_BPS = 1e9
+
+
+class Topology:
+    """Registry of servers, their NIC segments and the inter-room trunk."""
+
+    def __init__(self, sim: Simulation, trunk_bps: float = TRUNK_BPS):
+        self.sim = sim
+        self.network = FlowNetwork(sim)
+        self._tx: Dict[str, Segment] = {}
+        self._rx: Dict[str, Segment] = {}
+        self._rack: Dict[str, str] = {}
+        self._servers: Dict[str, Server] = {}
+        trunk_Bps = trunk_bps / 8.0
+        self.trunk_up = Segment("trunk.edison->dell", trunk_Bps)
+        self.trunk_down = Segment("trunk.dell->edison", trunk_Bps)
+
+    def add_server(self, server: Server, rack: Optional[str] = None) -> None:
+        """Register ``server``; rack defaults to its platform's room."""
+        if server.name in self._servers:
+            raise ValueError(f"duplicate server name {server.name!r}")
+        rack = rack or ("edison-room" if server.platform == "edison"
+                        else "dell-room")
+        line_Bps = server.nic.spec.bytes_per_second
+        self._servers[server.name] = server
+        self._rack[server.name] = rack
+        self._tx[server.name] = Segment(
+            f"{server.name}.tx", line_Bps, nic=server.nic, nic_direction="tx")
+        self._rx[server.name] = Segment(
+            f"{server.name}.rx", line_Bps, nic=server.nic, nic_direction="rx")
+
+    def server(self, name: str) -> Server:
+        return self._servers[name]
+
+    def rack_of(self, name: str) -> str:
+        return self._rack[name]
+
+    def path(self, src: str, dst: str) -> List[Segment]:
+        """Segments a flow from ``src`` to ``dst`` must traverse."""
+        if src == dst:
+            return []  # loopback: no network segments involved
+        segments = [self._tx[src]]
+        if self._rack[src] != self._rack[dst]:
+            segments.append(self.trunk_down if self._rack[dst] == "edison-room"
+                            else self.trunk_up)
+        segments.append(self._rx[dst])
+        return segments
+
+    def rtt(self, src: str, dst: str) -> float:
+        """Measured round-trip time between two servers (Section 4.4)."""
+        if src == dst:
+            return 0.0
+        pair = tuple(sorted((self._servers[src].platform,
+                             self._servers[dst].platform)))
+        key = (pair[0], pair[1])
+        if key in paper.S44_RTT_S:
+            return paper.S44_RTT_S[key]
+        return paper.S44_RTT_S[("dell", "edison")]
+
+    def one_way_latency(self, src: str, dst: str) -> float:
+        """Half the measured RTT — per-direction propagation+switching."""
+        return self.rtt(src, dst) / 2.0
+
+    def transfer(self, src: str, dst: str, nbytes: float):
+        """Process generator: bulk-transfer ``nbytes`` from src to dst.
+
+        Adds the one-way latency up front, then a max-min fair fluid flow
+        across the path.  Loopback transfers cost memory-copy time only
+        and are approximated as instantaneous at this layer.
+        """
+        latency = self.one_way_latency(src, dst)
+        if latency > 0:
+            yield self.sim.timeout(latency)
+        path = self.path(src, dst)
+        if path:
+            yield self.network.start_flow(path, nbytes)
+
+    def transfer_event(self, src: str, dst: str, nbytes: float):
+        """Event-returning variant (no latency term) for composition."""
+        return self.network.start_flow(self.path(src, dst), nbytes)
+
+    def message(self, src: str, dst: str, nbytes: float):
+        """Process generator: send one request/reply-sized message.
+
+        The high-rate web tier cannot afford a fluid flow per message,
+        so messages use a store-and-forward model instead: the message
+        queues FIFO at each segment along the path and holds it for its
+        serialisation time.  For multi-segment paths this is mildly
+        conservative (real TCP pipelines packets across segments), an
+        error bounded by 2x on the wire time of intra-room hops — small
+        against the CPU service times that dominate web latency, and
+        absorbed by the cost-model calibration.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        latency = self.one_way_latency(src, dst)
+        if latency > 0:
+            yield self.sim.timeout(latency)
+        for segment in self.path(src, dst):
+            if segment.queue is None:
+                segment.queue = Resource(self.sim, capacity=1,
+                                         name=f"{segment.name}.q")
+            with segment.queue.request() as grant:
+                yield grant
+                yield self.sim.timeout(nbytes / segment.capacity_Bps)
+            if segment.nic is not None:
+                if segment.nic_direction == "tx":
+                    segment.nic.bytes_sent += nbytes
+                else:
+                    segment.nic.bytes_received += nbytes

@@ -1,0 +1,14 @@
+"""From-scratch discrete-event simulation kernel used by all substrates."""
+
+from .errors import EmptySchedule, Interrupt, SimulationError
+from .kernel import AllOf, AnyOf, Event, Process, Simulation, Timeout
+from .monitor import TimeSeries, periodic_sampler
+from .resources import Container, Request, Resource, Store
+from .rng import RngStreams, derive_seed
+
+__all__ = [
+    "AllOf", "AnyOf", "Container", "EmptySchedule", "Event", "Interrupt",
+    "Process", "Request", "Resource", "RngStreams", "Simulation",
+    "SimulationError", "Store", "TimeSeries", "Timeout", "derive_seed",
+    "periodic_sampler",
+]

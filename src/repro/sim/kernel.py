@@ -1,0 +1,377 @@
+"""A compact, from-scratch discrete-event simulation (DES) kernel.
+
+The kernel follows the classic event-calendar design: a binary heap of
+``(time, priority, sequence, event)`` entries is drained in order, and each
+popped event runs its callbacks.  Simulated entities are *processes* —
+plain Python generators that ``yield`` events (timeouts, resource requests,
+other processes) and are resumed when the yielded event fires.
+
+The design is intentionally close to the well-known SimPy API so the rest
+of the codebase reads naturally to anyone who has simulated systems
+before, but it is implemented here from scratch and trimmed to exactly
+what the reproduction needs: events, timeouts, processes, interrupts and
+``AnyOf``/``AllOf`` conditions.
+
+Example
+-------
+>>> sim = Simulation()
+>>> def hello(sim, log):
+...     yield sim.timeout(5.0)
+...     log.append(sim.now)
+>>> log = []
+>>> _ = sim.process(hello(sim, log))
+>>> sim.run()
+>>> log
+[5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from .errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority used for events that must fire before ordinary ones at the
+#: same timestamp (used by the kernel when resuming interrupted processes).
+URGENT = 0
+
+# Sentinel distinguishing "no value yet" from an event value of ``None``.
+_PENDING = object()
+
+
+class Event:
+    """A happening that processes can wait on.
+
+    An event starts *pending*, becomes *triggered* once scheduled with a
+    value (or an exception), and *processed* after its callbacks ran.
+    """
+
+    def __init__(self, sim: "Simulation"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is (or will be) scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only valid once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed."""
+        if self.callbacks is None:
+            # Already processed: run immediately so late waiters still wake.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulation", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator; itself an event that fires on termination."""
+
+    def __init__(self, sim: "Simulation", generator: Generator,
+                 name: Optional[str] = None):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Kick off the generator at the current time.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        sim._schedule(init, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} already terminated")
+        if self._target is self:
+            raise SimulationError("a process cannot interrupt itself")
+        wakeup = Event(self.sim)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup._defused = True
+        wakeup.callbacks.append(self._resume)
+        self.sim._schedule(wakeup, priority=URGENT)
+        # Detach from whatever it was waiting for.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    def _resume(self, event: Event) -> None:
+        self.sim._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    target = self.generator.send(event._value)
+                else:
+                    # Mark the failure as handled: it is being delivered.
+                    event._defused = True
+                    target = self.generator.throw(event._value)
+            except StopIteration as exc:
+                self._ok = True
+                self._value = exc.value
+                self.sim._schedule(self)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.sim._schedule(self)
+                break
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}")
+                event = Event(self.sim)
+                event._ok = False
+                event._value = exc
+                continue
+            if target.sim is not self.sim:
+                exc = SimulationError("yielded event from a foreign simulation")
+                event = Event(self.sim)
+                event._ok = False
+                event._value = exc
+                continue
+            if target.callbacks is not None:
+                # Pending or triggered-but-unprocessed: wait for it.
+                target.callbacks.append(self._resume)
+                self._target = target
+                break
+            # Already processed: loop around and deliver immediately.
+            event = target
+        self.sim._active_process = None
+
+
+class Condition(Event):
+    """Base for ``AnyOf``/``AllOf`` composite events."""
+
+    def __init__(self, sim: "Simulation", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._unfired = len(self.events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("condition mixes simulations")
+            event.add_callback(self._check)
+        if not self.events:
+            self.succeed({})
+
+    def _collect(self) -> dict:
+        # Only *processed* events count: a Timeout is born triggered but
+        # has not happened until the calendar reaches it.
+        return {e: e._value for e in self.events if e.processed and e._ok}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(Condition):
+    """Fires when the first of its sub-events fires."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Fires when all of its sub-events have fired."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._unfired -= 1
+        if self._unfired == 0:
+            self.succeed(self._collect())
+
+
+class Simulation:
+    """The event calendar and clock.
+
+    Parameters
+    ----------
+    start:
+        Initial value of the simulated clock (seconds).
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._heap: list = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Register ``generator`` as a new process starting now."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all of ``events`` fired."""
+        return AllOf(self, events)
+
+    # -- scheduling & execution -----------------------------------------
+
+    def _schedule(self, event: Event, priority: int = NORMAL,
+                  delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._heap)
+        except IndexError:
+            raise EmptySchedule("no scheduled events") from None
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not getattr(event, "_defused", False):
+            # An un-waited-for failure must not pass silently.
+            raise event._value
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until the schedule drains, a time is reached, or an event fires.
+
+        ``until`` may be ``None`` (drain everything), a number (stop when
+        the clock reaches it), or an :class:`Event` (stop when it fires and
+        return its value).
+        """
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    return stop_event._value
+                stop_event.callbacks.append(self._stop_callback)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until={at} lies in the past (now={self._now})")
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                self._schedule(stop_event, priority=URGENT, delay=at - self._now)
+                stop_event.callbacks.append(self._stop_callback)
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            if stop_event is not None and not stop_event.triggered:
+                raise SimulationError(
+                    "schedule drained before the until-event fired") from None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        raise event._value

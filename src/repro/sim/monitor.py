@@ -1,0 +1,89 @@
+"""Measurement probes: time series and periodic samplers.
+
+The paper's Figures 12-17 plot CPU/memory utilisation, power draw and
+map/reduce progress over time; :class:`TimeSeries` plus
+:func:`periodic_sampler` produce exactly those traces from a running
+simulation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .kernel import Simulation
+
+
+class TimeSeries:
+    """An append-only ``(time, value)`` trace with simple analytics."""
+
+    def __init__(self, name: str = "series"):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample; times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time went backwards: {time} < {self.times[-1]}")
+        self.times.append(time)
+        self.values.append(value)
+
+    def at(self, time: float) -> float:
+        """Value of the most recent sample at or before ``time``."""
+        if not self.times:
+            raise ValueError(f"series {self.name!r} is empty")
+        index = bisect_right(self.times, time) - 1
+        if index < 0:
+            raise ValueError(f"no sample at or before t={time}")
+        return self.values[index]
+
+    def mean(self) -> float:
+        """Unweighted mean of the sampled values."""
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return sum(self.values) / len(self.values)
+
+    def maximum(self) -> float:
+        """Largest sampled value."""
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return max(self.values)
+
+    def integrate(self) -> float:
+        """Trapezoidal integral of value dt over the sampled span.
+
+        This is how measured power (W) becomes energy (J): the meter
+        samples cluster power and the integral of those samples over
+        time is the joule count the paper reports.
+        """
+        total = 0.0
+        for i in range(1, len(self.times)):
+            dt = self.times[i] - self.times[i - 1]
+            total += 0.5 * (self.values[i] + self.values[i - 1]) * dt
+        return total
+
+    def pairs(self) -> Sequence[Tuple[float, float]]:
+        """The trace as a list of ``(time, value)`` tuples."""
+        return list(zip(self.times, self.values))
+
+
+def periodic_sampler(sim: Simulation, interval: float,
+                     probe: Callable[[], float],
+                     series: TimeSeries,
+                     until: Optional[float] = None):
+    """Process generator: sample ``probe()`` into ``series`` every ``interval``.
+
+    Start it with ``sim.process(periodic_sampler(...))``.  Sampling stops
+    when the simulation drains or, if given, when ``sim.now`` reaches
+    ``until``.
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be > 0, got {interval}")
+    while until is None or sim.now <= until:
+        series.record(sim.now, probe())
+        yield sim.timeout(interval)

@@ -1,0 +1,257 @@
+"""Shared-resource primitives built on the DES kernel.
+
+Three primitives cover everything the reproduction needs:
+
+:class:`Resource`
+    A fixed number of identical slots with a FIFO wait queue — used for
+    CPU virtual cores, disk heads, connection slots and YARN containers.
+    It also integrates busy time so utilisation can be sampled for the
+    paper's resource-timeline figures.
+
+:class:`Container`
+    A continuous level with bounded capacity — used for memory
+    occupancy accounting.
+
+:class:`Store`
+    A FIFO queue of Python objects — used for message queues between
+    simulated services.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from .errors import SimulationError
+from .kernel import Event, Simulation
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager inside a process::
+
+        with resource.request() as req:
+            yield req
+            ... hold the slot ...
+        # released on exit
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+        resource._enqueue(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a request that has not been granted yet."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """``capacity`` identical slots with a FIFO wait queue.
+
+    Busy-time is integrated continuously, which lets monitors compute
+    exact utilisation over arbitrary windows (needed for the CPU/memory
+    utilisation curves of Figures 12-17).
+    """
+
+    def __init__(self, sim: Simulation, capacity: int = 1,
+                 name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.name = name
+        self.users: list = []
+        self.queue: Deque[Request] = deque()
+        self._busy_integral = 0.0
+        self._last_change = sim.now
+
+    # -- accounting ------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self.queue)
+
+    def _accumulate(self) -> None:
+        now = self.sim.now
+        self._busy_integral += len(self.users) * (now - self._last_change)
+        self._last_change = now
+
+    def busy_time(self) -> float:
+        """Total slot-seconds consumed so far."""
+        self._accumulate()
+        return self._busy_integral
+
+    def utilization_since(self, t0: float, busy0: float) -> float:
+        """Mean utilisation in ``[t0, now]`` given ``busy0 = busy_time()@t0``."""
+        elapsed = self.sim.now - t0
+        if elapsed <= 0:
+            return 0.0
+        return (self.busy_time() - busy0) / (self.capacity * elapsed)
+
+    # -- request/release ---------------------------------------------------
+
+    def request(self) -> Request:
+        """Claim one slot; the returned event fires when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return the slot held by ``request`` (no-op if never granted)."""
+        if request in self.queue:
+            self._cancel(request)
+            return
+        if request not in self.users:
+            return
+        self._accumulate()
+        self.users.remove(request)
+        self._grant_waiters()
+
+    def _enqueue(self, request: Request) -> None:
+        self.queue.append(request)
+        self._grant_waiters()
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            raise SimulationError("cannot cancel a granted request") from None
+
+    def _grant_waiters(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            self._accumulate()
+            request = self.queue.popleft()
+            self.users.append(request)
+            request.succeed(self)
+
+
+class ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError(f"put amount must be > 0, got {amount}")
+        super().__init__(container.sim)
+        self.amount = amount
+        container._puts.append(self)
+        container._settle()
+
+
+class ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError(f"get amount must be > 0, got {amount}")
+        super().__init__(container.sim)
+        self.amount = amount
+        container._gets.append(self)
+        container._settle()
+
+
+class Container:
+    """A continuous stock between 0 and ``capacity``.
+
+    ``put`` blocks while the container lacks headroom; ``get`` blocks
+    while it lacks stock.  Used for memory-occupancy modelling where
+    tasks reserve megabytes rather than discrete slots.
+    """
+
+    def __init__(self, sim: Simulation, capacity: float,
+                 init: float = 0.0, name: str = "container"):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError("init outside [0, capacity]")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.level = float(init)
+        self.name = name
+        self._puts: Deque[ContainerPut] = deque()
+        self._gets: Deque[ContainerGet] = deque()
+
+    def put(self, amount: float) -> ContainerPut:
+        """Add ``amount``; fires once there is room."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Remove ``amount``; fires once there is stock."""
+        return ContainerGet(self, amount)
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts and self.level + self._puts[0].amount <= self.capacity:
+                put = self._puts.popleft()
+                self.level += put.amount
+                put.succeed()
+                progressed = True
+            if self._gets and self.level >= self._gets[0].amount:
+                get = self._gets.popleft()
+                self.level -= get.amount
+                get.succeed()
+                progressed = True
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.sim)
+        self.item = item
+        store._puts.append(self)
+        store._settle()
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store"):
+        super().__init__(store.sim)
+        store._gets.append(self)
+        store._settle()
+
+
+class Store:
+    """A FIFO queue of arbitrary items with optional bounded capacity."""
+
+    def __init__(self, sim: Simulation, capacity: float = float("inf"),
+                 name: str = "store"):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._puts: Deque[StorePut] = deque()
+        self._gets: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Append ``item``; fires once the store has room."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Pop the oldest item; fires once one is available."""
+        return StoreGet(self)
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts and len(self.items) < self.capacity:
+                put = self._puts.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            if self._gets and self.items:
+                get = self._gets.popleft()
+                get.succeed(self.items.popleft())
+                progressed = True

@@ -1,0 +1,36 @@
+"""Deterministic random-number streams for reproducible experiments.
+
+Every stochastic component draws from its own named stream derived from
+one root seed, so adding a new component never perturbs the draws of
+existing ones — a property the calibration relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 63-bit child seed from ``root_seed`` and a stream name."""
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+class RngStreams:
+    """A registry of named, independently seeded ``random.Random`` streams."""
+
+    def __init__(self, root_seed: int = 20160901):
+        self.root_seed = int(root_seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating on first use) the stream called ``name``."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(derive_seed(self.root_seed, name))
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RngStreams":
+        """A child registry whose streams are all namespaced by ``name``."""
+        return RngStreams(derive_seed(self.root_seed, f"spawn:{name}"))

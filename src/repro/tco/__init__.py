@@ -1,0 +1,9 @@
+"""Section 6 total-cost-of-ownership model."""
+
+from .model import (
+    DELL_TCO, EDISON_TCO, HOURS_PER_YEAR, TcoInputs, cluster_tco,
+    node_energy_cost, savings_fraction, table10,
+)
+
+__all__ = ["DELL_TCO", "EDISON_TCO", "HOURS_PER_YEAR", "TcoInputs",
+           "cluster_tco", "node_energy_cost", "savings_fraction", "table10"]

@@ -1,0 +1,27 @@
+"""The Section 5.1 web-service stack: LLMP tiers, httperf, probes."""
+
+from .client import ProbeLog, UrllibProbe, delay_distribution
+from .deployment import (
+    DelayDecomposition, WebServiceDeployment, measure_delay_decomposition,
+)
+from .httperf import HttperfDriver, LevelResult, LevelStats
+from .nodes import (
+    CacheNode, CallRecord, DatabaseNode, PortPool, WebServerNode,
+)
+from .params import (
+    COSTS, LIMITS, PER_SERVER_CAPACITY_RPS, ConnectionLimits, ServiceCosts,
+    WebWorkload, mean_reply_bytes, tuned_calls_per_connection,
+    workload_factor,
+)
+from .runner import SweepResult, energy_efficiency_ratio, sweep_concurrency
+
+__all__ = [
+    "COSTS", "CacheNode", "CallRecord", "ConnectionLimits",
+    "DatabaseNode", "DelayDecomposition", "HttperfDriver", "LIMITS",
+    "LevelResult", "LevelStats", "PER_SERVER_CAPACITY_RPS", "PortPool",
+    "ProbeLog", "ServiceCosts", "SweepResult", "UrllibProbe",
+    "WebServerNode", "WebServiceDeployment", "WebWorkload",
+    "delay_distribution", "energy_efficiency_ratio", "mean_reply_bytes",
+    "measure_delay_decomposition", "sweep_concurrency",
+    "tuned_calls_per_connection", "workload_factor",
+]

@@ -1,0 +1,177 @@
+"""Wiring of the full Section 5.1 web-service testbed.
+
+A :class:`WebServiceDeployment` owns one fresh simulation containing the
+Table 6 server layout for a platform and scale, the shared Dell MySQL
+tier, the 8 client hosts, the power meter over the metered (web+cache)
+servers, and the httperf driver.  One deployment runs one concurrency
+level; sweeps build a fresh deployment per level, exactly as the paper
+restarts its 3-minute tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..cluster import web_cluster
+from ..hardware import ServerSpec
+from ..sim import RngStreams, Simulation
+from . import params as P
+from .httperf import HttperfDriver, LevelResult
+from .nodes import CacheNode, DatabaseNode, WebServerNode
+
+
+class WebServiceDeployment:
+    """One platform/scale web-service testbed ready to serve load."""
+
+    def __init__(self, platform: str, scale: str = "full",
+                 workload: Optional[P.WebWorkload] = None,
+                 seed: int = 20160901,
+                 edison_spec: Optional[ServerSpec] = None,
+                 limits: Optional[P.ConnectionLimits] = None):
+        if platform not in P.COSTS:
+            raise ValueError(f"unknown platform {platform!r}")
+        self.platform = platform
+        self.scale = scale
+        self.workload = workload if workload is not None else P.WebWorkload()
+        self.sim = Simulation()
+        self.rng = RngStreams(seed)
+        kwargs = {}
+        if edison_spec is not None:
+            kwargs["edison_spec"] = edison_spec
+        self.cluster = web_cluster(self.sim, platform, scale, **kwargs)
+        topo = self.cluster.topology
+        costs = P.COSTS[platform]
+        node_limits = limits if limits is not None else P.LIMITS[platform]
+        self.db_nodes: List[DatabaseNode] = [
+            DatabaseNode(self.cluster.servers[f"db-{i}"],
+                         self.rng.stream(f"db-{i}"))
+            for i in range(2)
+        ]
+        cache_servers = [s for n, s in self.cluster.servers.items()
+                         if n.startswith("cache-")]
+        self.cache_nodes: List[CacheNode] = [CacheNode(s)
+                                             for s in cache_servers]
+        web_servers = [s for n, s in self.cluster.servers.items()
+                       if n.startswith("web-")]
+        self.web_nodes: List[WebServerNode] = [
+            WebServerNode(self.sim, s, topo, costs, node_limits,
+                          self.workload, self.rng.stream(f"web-{i}"),
+                          self.cache_nodes, self.db_nodes)
+            for i, s in enumerate(web_servers)
+        ]
+        self.client_names = [f"client-{i}" for i in range(8)]
+        self._reserve_memory()
+        self.meter = self.cluster.attach_meter(interval=0.25)
+
+    def _reserve_memory(self) -> None:
+        """Pin the steady-state RAM footprints from Section 5.1.2."""
+        for node in self.web_nodes:
+            frac = P.MEMORY_RESERVATION[(self.platform, "web")]
+            node.server.memory.reserve(frac * node.server.memory.capacity_bytes)
+        for node in self.cache_nodes:
+            frac = P.MEMORY_RESERVATION[(self.platform, "cache")]
+            node.server.memory.reserve(frac * node.server.memory.capacity_bytes)
+
+    # -- capacity planning -------------------------------------------------
+
+    @property
+    def web_server_count(self) -> int:
+        return len(self.web_nodes)
+
+    def target_rps(self) -> float:
+        """The hand-tuned peak offered rate for this deployment."""
+        per_server = P.PER_SERVER_CAPACITY_RPS[self.platform]
+        factor = P.workload_factor(self.workload.image_fraction,
+                                   self.workload.cache_hit_ratio)
+        return per_server * self.web_server_count * factor
+
+    # -- running one level ------------------------------------------------
+
+    def run_level(self, concurrency: int, duration: float = 4.0,
+                  warmup: float = 1.0,
+                  calls: Optional[int] = None) -> LevelResult:
+        """Drive one httperf concurrency level and report the metrics.
+
+        The measurement window is ``[warmup, duration]``; the paper's
+        3-minute levels are shortened because simulated rates, not
+        wall-clock confidence, set the fidelity here.
+        """
+        if duration <= warmup:
+            raise ValueError("duration must exceed warmup")
+        if calls is None:
+            calls = P.tuned_calls_per_connection(concurrency,
+                                                 self.target_rps())
+        driver = HttperfDriver(
+            self.sim, self.cluster.topology, self.web_nodes,
+            self.client_names, self.workload,
+            self.rng.stream("arrivals"), collect_after=warmup)
+        self.sim.process(driver.generate(concurrency, calls, until=duration))
+        self.meter.start(until=duration)
+        self.sim.run(until=duration)
+        window = duration - warmup
+        stats = driver.stats
+        counted = max(1, stats.ok_calls)
+        power_samples = [v for t, v in self.meter.series.pairs()
+                         if t >= warmup]
+        mean_power = (sum(power_samples) / len(power_samples)
+                      if power_samples else self.cluster.idle_watts())
+        return LevelResult(
+            platform=self.platform,
+            concurrency=concurrency,
+            calls_per_connection=calls,
+            window_s=window,
+            ok_calls=stats.ok_calls,
+            error_calls=stats.error_calls,
+            timeout_calls=stats.timeout_calls,
+            failed_connections=stats.failed_connections,
+            connections=stats.connections,
+            syn_retries=stats.syn_retries,
+            mean_delay_s=stats.delay_sum_s / counted,
+            mean_power_w=mean_power,
+        )
+
+    # -- web-server-side logs (Table 7) --------------------------------------
+
+    def call_records(self, after: float = 0.0):
+        """All web-server call logs recorded at or after ``after``."""
+        records = []
+        for node in self.web_nodes:
+            records.extend(r for r in node.records if r.start >= after)
+        return records
+
+
+@dataclass(frozen=True)
+class DelayDecomposition:
+    """One Table 7 row: mean delays in seconds."""
+
+    request_rate: float
+    db_delay_s: float
+    cache_delay_s: float
+    total_delay_s: float
+
+
+def measure_delay_decomposition(platform: str, request_rate: float,
+                                duration: float = 4.0, warmup: float = 1.0,
+                                seed: int = 20160901) -> DelayDecomposition:
+    """Reproduce one row of Table 7 (20 % images, 93 % hit ratio).
+
+    Offered load is fixed at ``request_rate`` with the paper's mix; the
+    decomposition averages the web-server-side logs, counting database
+    delay only over cache-miss requests as the paper does.
+    """
+    workload = P.WebWorkload(image_fraction=0.20, cache_hit_ratio=0.93)
+    deployment = WebServiceDeployment(platform, "full", workload, seed=seed)
+    calls = 13
+    concurrency = max(1, round(request_rate / calls))
+    deployment.run_level(concurrency, duration=duration, warmup=warmup,
+                         calls=calls)
+    records = [r for r in deployment.call_records(after=warmup) if r.ok]
+    if not records:
+        raise RuntimeError("no completed requests in the window")
+    misses = [r for r in records if r.db_s > 0]
+    db = sum(r.db_s for r in misses) / len(misses) if misses else 0.0
+    cache = sum(r.cache_s for r in records) / len(records)
+    total = sum(r.total_s for r in records) / len(records)
+    return DelayDecomposition(request_rate=request_rate, db_delay_s=db,
+                              cache_delay_s=cache, total_delay_s=total)

@@ -1,0 +1,164 @@
+"""httperf-style open-loop workload generation and per-level results.
+
+The paper drives each concurrency level with 8 httperf clients behind
+8 HAProxy balancers, tuning calls-per-connection so the offered request
+rate matches what the tier can sustain.  Here one generator process per
+deployment spawns connections at the target aggregate rate (Poisson
+arrivals), assigns them round-robin to web servers (the HAProxy role)
+and round-robin to the 8 client hosts (the httperf role).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..sim import AnyOf
+from . import params as P
+from .nodes import SYN_RETRY_DELAYS, WebServerNode
+
+
+@dataclass
+class LevelStats:
+    """Raw counters accumulated while one concurrency level runs."""
+
+    ok_calls: int = 0
+    error_calls: int = 0
+    timeout_calls: int = 0
+    failed_connections: int = 0
+    connections: int = 0
+    syn_retries: int = 0
+    delay_sum_s: float = 0.0          # per-call delay incl. connect share
+    call_delay_sum_s: float = 0.0     # per-call delay excl. connect
+
+
+@dataclass(frozen=True)
+class LevelResult:
+    """One point on the Figure 4-9 curves."""
+
+    platform: str
+    concurrency: int
+    calls_per_connection: int
+    window_s: float
+    ok_calls: int
+    error_calls: int
+    timeout_calls: int
+    failed_connections: int
+    connections: int
+    syn_retries: int
+    mean_delay_s: float
+    mean_power_w: float
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.ok_calls / self.window_s
+
+    @property
+    def error_rate(self) -> float:
+        total = self.ok_calls + self.error_calls + self.timeout_calls
+        if total == 0:
+            return 1.0 if self.failed_connections else 0.0
+        return (self.error_calls + self.timeout_calls) / total
+
+    @property
+    def has_server_errors(self) -> bool:
+        """True when the paper would exclude this level (5xx observed)."""
+        return self.error_calls > 0
+
+    @property
+    def energy_joules(self) -> float:
+        return self.mean_power_w * self.window_s
+
+
+class HttperfDriver:
+    """Generates connections against a set of web-server nodes."""
+
+    def __init__(self, sim, topology, web_nodes: List[WebServerNode],
+                 client_names: List[str], workload: P.WebWorkload, rng,
+                 collect_after: float = 0.0):
+        if not web_nodes or not client_names:
+            raise ValueError("need web nodes and client hosts")
+        self.sim = sim
+        self.topology = topology
+        self.web_nodes = web_nodes
+        self.client_names = client_names
+        self.workload = workload
+        self.rng = rng
+        self.collect_after = collect_after
+        self.stats = LevelStats()
+
+    def generate(self, concurrency: float, calls: int, until: float):
+        """Process generator: spawn connections at ``concurrency``/s."""
+        if concurrency <= 0 or calls < 1:
+            raise ValueError("concurrency must be > 0 and calls >= 1")
+        index = 0
+        while self.sim.now < until:
+            yield self.sim.timeout(self.rng.expovariate(concurrency))
+            web = self.web_nodes[index % len(self.web_nodes)]
+            client = self.client_names[index % len(self.client_names)]
+            index += 1
+            self.sim.process(self._connection(client, web, calls),
+                             name=f"conn-{index}")
+
+    def _connection(self, client: str, web: WebServerNode, calls: int):
+        """One httperf connection: SYN (with retries), then ``calls`` calls."""
+        start = self.sim.now
+        attempt = 0
+        while not web.try_accept():
+            if attempt >= len(SYN_RETRY_DELAYS):
+                self._count_failed_connection()
+                return
+            yield self.sim.timeout(SYN_RETRY_DELAYS[attempt])
+            attempt += 1
+            self._count_syn_retry()
+        yield self.sim.timeout(self.topology.rtt(client, web.server.name))
+        connect_delay = self.sim.now - start
+        self._count_connection()
+        try:
+            for i in range(calls):
+                call_start = self.sim.now
+                yield from self.topology.message(
+                    client, web.server.name, self.workload.request_bytes)
+                handler = self.sim.process(web.handle_call(client))
+                timer = self.sim.timeout(self.workload.client_timeout_s)
+                yield AnyOf(self.sim, [handler, timer])
+                if not handler.processed:
+                    self._count_timeout()
+                    return  # client gave up; server keeps grinding
+                record = handler.value
+                call_delay = self.sim.now - call_start
+                reported = call_delay + (connect_delay if i == 0 else 0.0)
+                self._count_call(record.ok, call_delay, reported)
+        finally:
+            web.close_connection()
+
+    # -- windowed counting -------------------------------------------------
+
+    def _in_window(self) -> bool:
+        return self.sim.now >= self.collect_after
+
+    def _count_call(self, ok: bool, call_delay: float, reported: float):
+        if not self._in_window():
+            return
+        if ok:
+            self.stats.ok_calls += 1
+            self.stats.delay_sum_s += reported
+            self.stats.call_delay_sum_s += call_delay
+        else:
+            self.stats.error_calls += 1
+
+    def _count_timeout(self):
+        if self._in_window():
+            self.stats.timeout_calls += 1
+
+    def _count_failed_connection(self):
+        if self._in_window():
+            self.stats.failed_connections += 1
+
+    def _count_syn_retry(self):
+        if self._in_window():
+            self.stats.syn_retries += 1
+
+    def _count_connection(self):
+        if self._in_window():
+            self.stats.connections += 1

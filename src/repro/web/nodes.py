@@ -1,0 +1,228 @@
+"""Service nodes of the LLMP stack: web servers, memcached, MySQL.
+
+Each node wraps one simulated :class:`~repro.hardware.Server` and
+exposes process generators implementing its service logic.  CPU bursts
+queue on the server's vcore pool, so queueing delay emerges naturally
+as offered load approaches capacity — the mechanism behind both the
+cache-delay blow-up of Table 7 and the 500-error cliffs of Figures 4-6.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..hardware.server import Server
+from ..net import Topology
+from ..sim import Simulation
+from . import params as P
+
+#: Client-kernel SYN retransmission schedule (1 s, then 2 s, then 4 s).
+SYN_RETRY_DELAYS = (1.0, 2.0, 4.0)
+
+
+@dataclass
+class CallRecord:
+    """Timing of one completed HTTP call, as logged on the web server."""
+
+    start: float
+    total_s: float = 0.0
+    cache_s: float = 0.0
+    db_s: float = 0.0
+    status: int = 200
+    connect_s: float = 0.0
+    syn_retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+
+class PortPool:
+    """Ephemeral port accounting with TIME_WAIT recycling.
+
+    ``acquire`` is drop-style: a connection that finds no free port is
+    refused (its SYN is dropped), mirroring kernel behaviour; ports
+    return to the pool ``time_wait_s`` after the connection closes.
+    """
+
+    def __init__(self, sim: Simulation, size: int, time_wait_s: float):
+        if size < 1:
+            raise ValueError("port pool must hold at least one port")
+        if time_wait_s < 0:
+            raise ValueError("time_wait_s must be >= 0")
+        self.sim = sim
+        self.size = size
+        self.available = size
+        self.time_wait_s = time_wait_s
+
+    def try_acquire(self) -> bool:
+        """Claim a port if one is free."""
+        if self.available <= 0:
+            return False
+        self.available -= 1
+        return True
+
+    def release_after_time_wait(self) -> None:
+        """Schedule the port's return once TIME_WAIT expires."""
+        if self.time_wait_s == 0:
+            self.available += 1
+            return
+        wake = self.sim.timeout(self.time_wait_s)
+        wake.add_callback(lambda _ev: self._release())
+
+    def _release(self) -> None:
+        self.available = min(self.size, self.available + 1)
+
+
+class CacheNode:
+    """A memcached server."""
+
+    def __init__(self, server: Server):
+        self.server = server
+        self.gets = 0
+
+    def handle_get(self):
+        """Process generator: serve one GET (CPU only; data is in RAM)."""
+        self.gets += 1
+        yield from self.server.cpu.execute(P.CACHE_OP_MI)
+
+
+class DatabaseNode:
+    """A MySQL server (always brawny Dell hardware, shared by both tiers)."""
+
+    def __init__(self, server: Server, rng: random.Random):
+        self.server = server
+        self.rng = rng
+        self.queries = 0
+
+    def handle_query(self, content_bytes: float):
+        """Process generator: execute one SELECT.
+
+        Most rows are served from the buffer pool; a calibrated fraction
+        of blob reads miss it and touch the disk.
+        """
+        self.queries += 1
+        yield from self.server.cpu.execute(P.DB_QUERY_MI)
+        if self.rng.random() < P.DB_DISK_PROBABILITY:
+            yield from self.server.storage.read(content_bytes, buffered=True)
+
+
+class WebServerNode:
+    """A lighttpd + PHP web server with OS-level connection limits."""
+
+    def __init__(self, sim: Simulation, server: Server, topology: Topology,
+                 costs: P.ServiceCosts, limits: P.ConnectionLimits,
+                 workload: P.WebWorkload, rng: random.Random,
+                 cache_nodes: List[CacheNode],
+                 db_nodes: List[DatabaseNode]):
+        self.sim = sim
+        self.server = server
+        self.topology = topology
+        self.costs = costs
+        self.limits = limits
+        self.workload = workload
+        self.rng = rng
+        self.cache_nodes = cache_nodes
+        self.db_nodes = db_nodes
+        self.ports = PortPool(sim, limits.port_pool, limits.time_wait_s)
+        self.established = 0
+        self.active_calls = 0
+        # Statistics.
+        self.syn_drops = 0
+        self.accepted = 0
+        self.errors_500 = 0
+        self.records: List[CallRecord] = []
+        self.record_log_enabled = True
+
+    # -- connection admission -------------------------------------------
+
+    def try_accept(self) -> bool:
+        """Admit a SYN if a connection slot and an ephemeral port exist."""
+        if self.established >= self.limits.max_connections:
+            self.syn_drops += 1
+            return False
+        if not self.ports.try_acquire():
+            self.syn_drops += 1
+            return False
+        self.established += 1
+        self.accepted += 1
+        return True
+
+    def close_connection(self) -> None:
+        """Tear down an established connection; port enters TIME_WAIT."""
+        self.established -= 1
+        self.ports.release_after_time_wait()
+
+    # -- request handling ----------------------------------------------------
+
+    def _pick_content(self) -> float:
+        if self.rng.random() < self.workload.image_fraction:
+            return P.IMAGE_REPLY_BYTES
+        return P.NON_IMAGE_REPLY_BYTES
+
+    def handle_call(self, client_name: str):
+        """Process generator: serve one HTTP call and send the reply.
+
+        Returns the :class:`CallRecord`; also appends it to the node's
+        log when logging is enabled.
+        """
+        record = CallRecord(start=self.sim.now)
+        if self.active_calls >= self.limits.call_queue_limit:
+            # Thread/FD exhaustion: answer 500 cheaply (Figures 4-6's
+            # "server error beyond the concurrency cliff").
+            self.errors_500 += 1
+            record.status = 500
+            yield from self.server.cpu.execute(self.costs.error_mi)
+            yield from self.topology.message(
+                self.server.name, client_name, P.ERROR_REPLY_BYTES)
+            record.total_s = self.sim.now - record.start
+            self._log(record)
+            return record
+        self.active_calls += 1
+        try:
+            content = self._pick_content()
+            # Per-request work varies (page size, PHP branches, kernel
+            # interrupts): an exponential factor (mean 1, cv 1) leaves
+            # capacity unchanged but produces the M/G/c queueing growth
+            # behind the paper's delay-vs-concurrency curves.
+            work_factor = self.rng.expovariate(1.0)
+            yield from self.server.cpu.execute(
+                work_factor * 0.4 * self.costs.request_base_mi)
+            # Cache leg (timed as the paper's web-server logs time it).
+            cache_start = self.sim.now
+            cache = self.rng.choice(self.cache_nodes)
+            yield from self.topology.message(
+                self.server.name, cache.server.name, P.CACHE_KEY_BYTES)
+            yield from cache.handle_get()
+            hit = self.rng.random() < self.workload.cache_hit_ratio
+            if hit:
+                yield from self.topology.message(
+                    cache.server.name, self.server.name, content)
+            yield from self.server.cpu.execute(self.costs.cache_client_mi)
+            record.cache_s = self.sim.now - cache_start
+            if not hit:
+                db_start = self.sim.now
+                db = self.rng.choice(self.db_nodes)
+                yield from self.topology.message(
+                    self.server.name, db.server.name, P.DB_QUERY_BYTES)
+                yield from db.handle_query(content)
+                yield from self.topology.message(
+                    db.server.name, self.server.name, content)
+                yield from self.server.cpu.execute(self.costs.db_client_mi)
+                record.db_s = self.sim.now - db_start
+            assemble_mi = (0.6 * self.costs.request_base_mi
+                           + self.costs.per_reply_kb_mi * content / 1000.0)
+            yield from self.server.cpu.execute(work_factor * assemble_mi)
+            yield from self.topology.message(
+                self.server.name, client_name, content)
+            record.total_s = self.sim.now - record.start
+            self._log(record)
+            return record
+        finally:
+            self.active_calls -= 1
+
+    def _log(self, record: CallRecord) -> None:
+        if self.record_log_enabled:
+            self.records.append(record)

@@ -1,0 +1,14 @@
+"""Synthetic workload data: text corpus, logs, terasort records, wiki DB."""
+
+from .datasets import Dataset, DatasetFile, split_evenly
+from .loggen import LogGenerator, logcount_dataset
+from .teragen import TeragenGenerator, terasort_dataset
+from .textgen import ZipfTextGenerator, wordcount_dataset
+from .wikidb import TableSpec, WikiDatabase, build_tables, table_weights
+
+__all__ = [
+    "Dataset", "DatasetFile", "LogGenerator", "TableSpec",
+    "TeragenGenerator", "WikiDatabase", "ZipfTextGenerator", "build_tables",
+    "logcount_dataset", "split_evenly", "table_weights", "terasort_dataset",
+    "wordcount_dataset",
+]

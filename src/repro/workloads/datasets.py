@@ -1,0 +1,69 @@
+"""Dataset descriptions shared by all workload generators.
+
+The simulator schedules work from dataset *metadata* (file sizes, record
+counts, key statistics); generators can also materialise real sample
+bytes for the examples and for tests that want to run the actual map
+logic on actual data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class DatasetFile:
+    """One input file as stored in (simulated) HDFS."""
+
+    name: str
+    size_bytes: int
+    records: int
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A collection of input files plus content statistics."""
+
+    name: str
+    files: Tuple[DatasetFile, ...]
+    #: Mean serialised size of one map-output record for this data.
+    map_output_record_bytes: float
+    #: Map output bytes per input byte (before any combiner).
+    map_output_ratio: float
+    #: Fraction of map-output volume surviving a combiner pass.
+    combine_survival: float
+
+    def __post_init__(self):
+        if not self.files:
+            raise ValueError("a dataset needs at least one file")
+        if self.map_output_ratio < 0 or not 0 < self.combine_survival <= 1:
+            raise ValueError("invalid output/combine ratios")
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.size_bytes for f in self.files)
+
+    @property
+    def total_records(self) -> int:
+        return sum(f.records for f in self.files)
+
+    @property
+    def file_count(self) -> int:
+        return len(self.files)
+
+
+def split_evenly(total_bytes: int, count: int, name: str,
+                 bytes_per_record: float) -> Tuple[DatasetFile, ...]:
+    """Divide ``total_bytes`` into ``count`` near-equal files."""
+    if count < 1 or total_bytes < count:
+        raise ValueError("need total_bytes >= count >= 1")
+    base = total_bytes // count
+    remainder = total_bytes - base * count
+    files: List[DatasetFile] = []
+    for i in range(count):
+        size = base + (1 if i < remainder else 0)
+        files.append(DatasetFile(
+            name=f"{name}-{i:05d}", size_bytes=size,
+            records=max(1, round(size / bytes_per_record))))
+    return tuple(files)

@@ -1,0 +1,58 @@
+"""Teragen-style records for the terasort job.
+
+Terasort operates on fixed 100-byte records with 10-byte keys; the map
+output is the input itself (identity map re-keyed), so the output ratio
+is 1.0 and a combiner would be useless.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..core import paperdata as paper
+from .datasets import Dataset, split_evenly
+
+#: The classic terasort record layout: 10-byte key + 90-byte payload.
+RECORD_BYTES = 100
+KEY_BYTES = 10
+
+
+def terasort_dataset(total_bytes: int = paper.TERASORT_INPUT_BYTES,
+                     files: int = paper.TERASORT_MAPS) -> Dataset:
+    """Describe the scaled-down 10 GB terasort input.
+
+    The paper reports 168 input files/map tasks for its 10 GB run with
+    64 MB blocks (~60 MB of records per file).
+    """
+    return Dataset(
+        name="terasort-records",
+        files=split_evenly(total_bytes, files, "teragen",
+                           bytes_per_record=RECORD_BYTES),
+        map_output_record_bytes=float(RECORD_BYTES),
+        map_output_ratio=1.0,       # identity map
+        combine_survival=1.0,       # no combiner can shrink a sort
+    )
+
+
+class TeragenGenerator:
+    """Materialises sample terasort records (deterministic per seed)."""
+
+    def __init__(self, seed: int = 7):
+        self._rng = random.Random(seed)
+
+    def record(self) -> bytes:
+        key = bytes(self._rng.randrange(32, 127) for _ in range(KEY_BYTES))
+        payload = b"%088d\r\n" % self._rng.randrange(10 ** 18)
+        record = key + payload
+        return record[:RECORD_BYTES].ljust(RECORD_BYTES, b"0")
+
+    def records(self, count: int) -> List[bytes]:
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        return [self.record() for _ in range(count)]
+
+    @staticmethod
+    def key_of(record: bytes) -> bytes:
+        """The terasort partitioning/sort key of one record."""
+        return record[:KEY_BYTES]

@@ -1,0 +1,91 @@
+"""Synthetic stand-in for the paper's wikipedia + crawled-image database.
+
+The real deployment imported wikipedia dumps plus images crawled from
+Amazon/Newegg/Flickr (20 GB, 15 tables, 4 with ~30 KB image blobs).
+Only the *statistics* of that data affect any measured quantity — table
+weights drive the image-query fraction, row sizes drive reply sizes —
+so the stand-in reproduces those statistics and can materialise
+deterministic sample rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+TOTAL_BYTES = 20 * 1000 ** 3
+TABLE_COUNT = 15
+IMAGE_TABLE_COUNT = 4
+MEAN_IMAGE_BYTES = 30_000
+MEAN_TEXT_ROW_BYTES = 1_200
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One of the 15 tables."""
+
+    name: str
+    rows: int
+    mean_row_bytes: float
+    is_image: bool
+
+
+def build_tables(total_bytes: int = TOTAL_BYTES) -> Tuple[TableSpec, ...]:
+    """The 15-table layout: 11 scalar tables, 4 image-blob tables."""
+    image_share = 0.7            # images dominate the 20 GB footprint
+    image_bytes = total_bytes * image_share / IMAGE_TABLE_COUNT
+    text_bytes = total_bytes * (1 - image_share) / (TABLE_COUNT
+                                                    - IMAGE_TABLE_COUNT)
+    tables: List[TableSpec] = []
+    for i in range(TABLE_COUNT - IMAGE_TABLE_COUNT):
+        tables.append(TableSpec(
+            name=f"wiki_{i}", rows=round(text_bytes / MEAN_TEXT_ROW_BYTES),
+            mean_row_bytes=MEAN_TEXT_ROW_BYTES, is_image=False))
+    for i in range(IMAGE_TABLE_COUNT):
+        tables.append(TableSpec(
+            name=f"images_{i}", rows=round(image_bytes / MEAN_IMAGE_BYTES),
+            mean_row_bytes=MEAN_IMAGE_BYTES, is_image=True))
+    return tuple(tables)
+
+
+def table_weights(image_fraction: float,
+                  tables: Tuple[TableSpec, ...]) -> List[float]:
+    """Selection weights giving image tables ``image_fraction`` of hits.
+
+    This is the paper's mechanism for controlling workload heaviness:
+    "we assign different weights to image tables and non-image tables
+    to control their probability to be selected."
+    """
+    if not 0 <= image_fraction <= 1:
+        raise ValueError("image_fraction must be in [0, 1]")
+    n_image = sum(1 for t in tables if t.is_image)
+    n_text = len(tables) - n_image
+    if n_image == 0 or n_text == 0:
+        raise ValueError("need both image and non-image tables")
+    return [image_fraction / n_image if t.is_image
+            else (1 - image_fraction) / n_text
+            for t in tables]
+
+
+class WikiDatabase:
+    """Deterministic sample-row materialisation."""
+
+    def __init__(self, seed: int = 7,
+                 tables: Tuple[TableSpec, ...] = None):
+        self.tables = tables if tables is not None else build_tables()
+        self._seed = seed
+
+    def row_bytes(self, table: TableSpec, row: int) -> int:
+        """Deterministic size of one row (log-normal-ish spread)."""
+        rng = random.Random(hash((self._seed, table.name, row)) & 0xFFFFFFFF)
+        spread = rng.lognormvariate(0, 0.4)
+        return max(64, round(table.mean_row_bytes * spread))
+
+    def row_payload(self, table: TableSpec, row: int) -> bytes:
+        """Deterministic pseudo-content for one row."""
+        size = self.row_bytes(table, row)
+        digest = hashlib.sha256(
+            f"{self._seed}:{table.name}:{row}".encode()).digest()
+        return (digest * (size // len(digest) + 1))[:size]

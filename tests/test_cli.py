@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_table2_command(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "16" in out
+
+
+def test_table10_command(capsys):
+    assert main(["table10"]) == 0
+    out = capsys.readouterr().out
+    assert "web/low" in out
+    assert "savings" in out
+
+
+def test_web_command_small_scale(capsys):
+    assert main(["web", "--platform", "edison", "--scale", "1/8",
+                 "--concurrency", "16", "--duration", "1.5"]) == 0
+    out = capsys.readouterr().out
+    assert "requests/s" in out
+    assert "cluster power" in out
+
+
+def test_job_command_reports_paper_value(capsys):
+    assert main(["job", "pi", "--platform", "edison", "--slaves", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "run time" in out
+    assert "paper:" in out       # 4-slave pi is a Table 8 cell
+
+
+def test_job_command_unknown_job_rejected():
+    with pytest.raises(SystemExit):
+        main(["job", "sort-of-sort"])
+
+
+def test_histogram_command(capsys):
+    assert main(["histogram", "--platform", "edison", "--rate", "500",
+                 "--duration", "2.0"]) == 0
+    out = capsys.readouterr().out
+    assert "delay (s)" in out
+
+
+def test_seed_flag_changes_nothing_structural(capsys):
+    assert main(["--seed", "7", "table2"]) == 0
+    assert "Table 2" in capsys.readouterr().out

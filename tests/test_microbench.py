@@ -1,0 +1,187 @@
+"""Tests for the Section 4 micro-benchmarks against the paper's numbers."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import paperdata as paper
+from repro.hardware import DELL_R620, EDISON, make_server
+from repro.microbench import (
+    run_dd, run_dhrystone, run_ioping, run_iperf, run_ping,
+    run_sysbench_cpu, run_sysbench_memory,
+)
+from repro.sim import Simulation
+
+
+def fresh_server(spec, name="s0"):
+    sim = Simulation()
+    return sim, make_server(sim, spec, name)
+
+
+# -- Dhrystone (Section 4.1) --------------------------------------------------
+
+def test_dhrystone_edison_matches_paper():
+    sim, server = fresh_server(EDISON)
+    result = run_dhrystone(sim, server)
+    assert result.dmips == pytest.approx(paper.S41_EDISON_DMIPS, rel=1e-3)
+
+
+def test_dhrystone_dell_matches_paper():
+    sim, server = fresh_server(DELL_R620)
+    result = run_dhrystone(sim, server)
+    assert result.dmips == pytest.approx(paper.S41_DELL_DMIPS, rel=1e-3)
+
+
+def test_dhrystone_rejects_bad_runs():
+    sim, server = fresh_server(EDISON)
+    with pytest.raises(ValueError):
+        run_dhrystone(sim, server, runs=0)
+
+
+# -- Sysbench CPU (Figures 2 & 3) ----------------------------------------------
+
+def test_sysbench_cpu_single_thread_ratio_in_paper_band():
+    sim_e, edison = fresh_server(EDISON)
+    sim_d, dell = fresh_server(DELL_R620)
+    t_e = run_sysbench_cpu(sim_e, edison, threads=1).total_time_s
+    t_d = run_sysbench_cpu(sim_d, dell, threads=1).total_time_s
+    low, high = paper.S41_PER_CORE_SPEEDUP
+    assert low <= t_e / t_d <= high + 0.5  # Dhrystone ratio is 18.0
+
+
+def test_sysbench_cpu_edison_flat_beyond_two_threads():
+    times = {}
+    for threads in (1, 2, 4, 8):
+        sim, server = fresh_server(EDISON)
+        times[threads] = run_sysbench_cpu(sim, server, threads).total_time_s
+    assert times[2] == pytest.approx(times[1] / 2, rel=0.01)
+    assert times[4] == pytest.approx(times[2], rel=0.05)
+    assert times[8] == pytest.approx(times[2], rel=0.05)
+
+
+def test_sysbench_cpu_dell_scales_to_eight_threads():
+    times = {}
+    for threads in (1, 2, 4, 8):
+        sim, server = fresh_server(DELL_R620)
+        times[threads] = run_sysbench_cpu(sim, server, threads).total_time_s
+    assert times[8] < times[4] < times[2] < times[1]
+    assert times[1] / times[8] > 6  # near-linear to 8 threads
+
+
+def test_sysbench_cpu_response_time_grows_with_oversubscription():
+    sim, server = fresh_server(EDISON)
+    r8 = run_sysbench_cpu(sim, server, threads=8)
+    sim2, server2 = fresh_server(EDISON)
+    r1 = run_sysbench_cpu(sim2, server2, threads=1)
+    # 8 threads on 2 cores: per-event response ~4x the 1-thread case.
+    assert r8.avg_response_time_s > 3 * r1.avg_response_time_s
+
+
+def test_sysbench_cpu_validation():
+    sim, server = fresh_server(EDISON)
+    with pytest.raises(ValueError):
+        run_sysbench_cpu(sim, server, threads=0)
+    with pytest.raises(ValueError):
+        run_sysbench_cpu(sim, server, threads=1, prime_limit=1)
+
+
+# -- Sysbench memory (Section 4.2) ----------------------------------------------
+
+def test_memory_peak_rates_match_paper():
+    sim, edison = fresh_server(EDISON)
+    r = run_sysbench_memory(sim, edison, block_bytes=1 << 20, threads=2)
+    assert r.rate_bps == pytest.approx(paper.S42_EDISON_MEM_BW, rel=0.05)
+    sim, dell = fresh_server(DELL_R620)
+    r = run_sysbench_memory(sim, dell, block_bytes=1 << 20, threads=12)
+    assert r.rate_bps == pytest.approx(paper.S42_DELL_MEM_BW, rel=0.05)
+
+
+def test_memory_rate_saturates_at_platform_thread_counts():
+    sim, edison = fresh_server(EDISON)
+    r2 = run_sysbench_memory(sim, edison, 1 << 20, threads=2)
+    sim, edison = fresh_server(EDISON)
+    r16 = run_sysbench_memory(sim, edison, 1 << 20, threads=16)
+    assert r16.rate_bps == pytest.approx(r2.rate_bps)
+
+
+# -- dd / ioping (Table 5) -------------------------------------------------------
+
+@pytest.mark.parametrize("spec,table", [
+    (EDISON, paper.T5_EDISON), (DELL_R620, paper.T5_DELL),
+])
+def test_dd_throughput_matches_table5(spec, table):
+    for op, buffered, key in [
+        ("write", False, "write_bps"), ("write", True, "buffered_write_bps"),
+        ("read", False, "read_bps"), ("read", True, "buffered_read_bps"),
+    ]:
+        sim, server = fresh_server(spec)
+        result = run_dd(sim, server, op, nbytes=50e6, buffered=buffered)
+        # Direct I/O pays per-block latency, so rate is slightly below
+        # the sustained figure; buffered matches it closely.
+        assert result.rate_bps <= table[key] * 1.001
+        assert result.rate_bps >= table[key] * 0.85
+
+
+@pytest.mark.parametrize("spec,table", [
+    (EDISON, paper.T5_EDISON), (DELL_R620, paper.T5_DELL),
+])
+def test_ioping_latency_matches_table5(spec, table):
+    sim, server = fresh_server(spec)
+    read = run_ioping(sim, server, "read")
+    sim, server = fresh_server(spec)
+    write = run_ioping(sim, server, "write")
+    # The measured value is the access latency plus the 4 KiB transfer,
+    # so it sits just above the Table 5 access-latency figure.
+    assert table["read_latency_s"] <= read.mean_latency_s \
+        <= table["read_latency_s"] * 1.07
+    assert table["write_latency_s"] <= write.mean_latency_s \
+        <= table["write_latency_s"] * 1.07
+
+
+# -- iperf / ping (Section 4.4) ---------------------------------------------------
+
+def two_servers(spec_a, spec_b):
+    sim = Simulation()
+    cluster = Cluster(sim)
+    cluster.add(spec_a, "a")
+    cluster.add(spec_b, "b")
+    return sim, cluster.topology
+
+
+@pytest.mark.parametrize("spec_a,spec_b,key", [
+    (DELL_R620, DELL_R620, ("dell", "dell")),
+    (DELL_R620, EDISON, ("dell", "edison")),
+    (EDISON, EDISON, ("edison", "edison")),
+])
+def test_iperf_tcp_matches_section44(spec_a, spec_b, key):
+    sim, topo = two_servers(spec_a, spec_b)
+    result = run_iperf(sim, topo, "a", "b", nbytes=100e6, protocol="tcp")
+    assert result.goodput_bps == pytest.approx(paper.S44_TCP_BPS[key], rel=0.01)
+
+
+@pytest.mark.parametrize("spec_a,spec_b,key", [
+    (DELL_R620, DELL_R620, ("dell", "dell")),
+    (EDISON, EDISON, ("edison", "edison")),
+])
+def test_iperf_udp_matches_section44(spec_a, spec_b, key):
+    sim, topo = two_servers(spec_a, spec_b)
+    result = run_iperf(sim, topo, "a", "b", nbytes=100e6, protocol="udp")
+    assert result.goodput_bps == pytest.approx(paper.S44_UDP_BPS[key], rel=0.01)
+
+
+def test_iperf_validation():
+    sim, topo = two_servers(EDISON, EDISON)
+    with pytest.raises(ValueError):
+        run_iperf(sim, topo, "a", "b", protocol="sctp")
+    with pytest.raises(ValueError):
+        run_iperf(sim, topo, "a", "b", nbytes=0)
+
+
+@pytest.mark.parametrize("spec_a,spec_b,key", [
+    (DELL_R620, DELL_R620, ("dell", "dell")),
+    (DELL_R620, EDISON, ("dell", "edison")),
+    (EDISON, EDISON, ("edison", "edison")),
+])
+def test_ping_matches_section44(spec_a, spec_b, key):
+    sim, topo = two_servers(spec_a, spec_b)
+    result = run_ping(sim, topo, "a", "b")
+    assert result.rtt_s == pytest.approx(paper.S44_RTT_S[key])

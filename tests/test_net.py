@@ -1,0 +1,253 @@
+"""Unit tests for the network substrate (flows, topology, TCP)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.hardware import DELL_R620, EDISON
+from repro.net import (
+    ConnectTimeout, FlowNetwork, Segment, TcpListener, Topology,
+)
+from repro.net.flows import Flow
+from repro.sim import Simulation
+
+
+def make_pair(sim, spec_a=EDISON, spec_b=EDISON):
+    cluster = Cluster(sim)
+    a = cluster.add(spec_a, "a")
+    b = cluster.add(spec_b, "b")
+    return cluster.topology, a, b
+
+
+# -- FlowNetwork --------------------------------------------------------------
+
+def test_single_flow_runs_at_line_rate():
+    sim = Simulation()
+    net = FlowNetwork(sim)
+    seg = Segment("link", capacity_Bps=100.0)
+    done = net.start_flow([seg], nbytes=1000)
+    sim.run(until=done)
+    assert sim.now == pytest.approx(10.0)
+
+
+def test_zero_byte_flow_completes_instantly():
+    sim = Simulation()
+    net = FlowNetwork(sim)
+    done = net.start_flow([Segment("s", 1.0)], nbytes=0)
+    assert done.triggered
+
+
+def test_flow_rejects_negative_bytes_and_empty_path():
+    sim = Simulation()
+    net = FlowNetwork(sim)
+    with pytest.raises(ValueError):
+        net.start_flow([Segment("s", 1.0)], nbytes=-1)
+    with pytest.raises(ValueError):
+        net.start_flow([], nbytes=10)
+
+
+def test_two_flows_share_fairly():
+    sim = Simulation()
+    net = FlowNetwork(sim)
+    seg = Segment("link", capacity_Bps=100.0)
+    first = net.start_flow([seg], nbytes=1000)
+    second = net.start_flow([seg], nbytes=1000)
+    sim.run(until=second)
+    # Both at 50 B/s -> both finish at t=20.
+    assert sim.now == pytest.approx(20.0)
+    assert first.triggered
+
+
+def test_late_flow_speeds_up_after_departure():
+    sim = Simulation()
+    net = FlowNetwork(sim)
+    seg = Segment("link", capacity_Bps=100.0)
+
+    def scenario():
+        first = net.start_flow([seg], nbytes=500)
+        second = net.start_flow([seg], nbytes=1000)
+        yield first
+        # first: 500 B at 50 B/s -> t=10; second has 500 left, now at 100 B/s.
+        assert sim.now == pytest.approx(10.0)
+        yield second
+        assert sim.now == pytest.approx(15.0)
+
+    sim.run(until=sim.process(scenario()))
+
+
+def test_maxmin_respects_tighter_segment():
+    sim = Simulation()
+    net = FlowNetwork(sim)
+    wide = Segment("wide", capacity_Bps=100.0)
+    narrow = Segment("narrow", capacity_Bps=10.0)
+    slow = net.start_flow([wide, narrow], nbytes=100)   # capped at 10
+    fast = net.start_flow([wide], nbytes=900)           # gets the rest (90)
+    sim.run(until=slow)
+    assert sim.now == pytest.approx(10.0, rel=1e-3)
+    sim.run(until=fast)
+    assert sim.now == pytest.approx(10.0, rel=1e-3)
+
+
+def test_flow_accounts_nic_bytes():
+    sim = Simulation()
+    topo, a, b = make_pair(sim)
+    done = topo.network.start_flow(topo.path("a", "b"), nbytes=1e6)
+    sim.run(until=done)
+    assert a.nic.bytes_sent == pytest.approx(1e6)
+    assert b.nic.bytes_received == pytest.approx(1e6)
+
+
+# -- Topology -----------------------------------------------------------------
+
+def test_edison_transfer_time_matches_nic():
+    sim = Simulation()
+    topo, a, b = make_pair(sim)
+
+    def scenario():
+        yield from topo.transfer("a", "b", 12.5e6)  # 1 s at 100 Mb/s
+
+    sim.run(until=sim.process(scenario()))
+    assert sim.now == pytest.approx(1.0 + 1.3e-3 / 2, rel=1e-3)
+
+
+def test_dell_to_dell_uses_gigabit():
+    sim = Simulation()
+    topo, a, b = make_pair(sim, DELL_R620, DELL_R620)
+
+    def scenario():
+        yield from topo.transfer("a", "b", 125e6)  # 1 s at 1 Gb/s
+
+    sim.run(until=sim.process(scenario()))
+    assert sim.now == pytest.approx(1.0 + 0.24e-3 / 2, rel=1e-3)
+
+
+def test_rtt_matrix_matches_section_4_4():
+    sim = Simulation()
+    cluster = Cluster(sim)
+    cluster.add(EDISON, "e0")
+    cluster.add(EDISON, "e1")
+    cluster.add(DELL_R620, "d0")
+    cluster.add(DELL_R620, "d1")
+    topo = cluster.topology
+    assert topo.rtt("e0", "e1") == pytest.approx(1.3e-3)
+    assert topo.rtt("d0", "d1") == pytest.approx(0.24e-3)
+    assert topo.rtt("d0", "e0") == pytest.approx(0.8e-3)
+    assert topo.rtt("e0", "e0") == 0.0
+
+
+def test_cross_room_flows_share_the_trunk():
+    """Many Edison->Dell flows collectively cap at the 1 Gb/s uplink."""
+    sim = Simulation()
+    cluster = Cluster(sim)
+    edisons = [cluster.add(EDISON, f"e{i}") for i in range(20)]
+    dell = cluster.add(DELL_R620, "d0")
+    topo = cluster.topology
+    done = [topo.network.start_flow(topo.path(e.name, "d0"), 12.5e6)
+            for e in edisons]
+
+    def scenario():
+        yield sim.all_of(done)
+
+    sim.run(until=sim.process(scenario()))
+    # 20 x 12.5 MB = 250 MB; bottleneck = dell rx at 125 MB/s -> 2 s.
+    assert sim.now == pytest.approx(2.0, rel=1e-3)
+
+
+def test_same_room_dell_flows_bypass_trunk():
+    sim = Simulation()
+    cluster = Cluster(sim)
+    cluster.add(DELL_R620, "d0")
+    cluster.add(DELL_R620, "d1")
+    path = cluster.topology.path("d0", "d1")
+    names = [seg.name for seg in path]
+    assert names == ["d0.tx", "d1.rx"]
+
+
+def test_duplicate_server_name_rejected():
+    sim = Simulation()
+    cluster = Cluster(sim)
+    cluster.add(EDISON, "x")
+    with pytest.raises(ValueError):
+        cluster.add(EDISON, "x")
+
+
+# -- TcpListener --------------------------------------------------------------
+
+def test_tcp_connect_succeeds_with_free_slot():
+    sim = Simulation()
+    listener = TcpListener(sim, "web", max_connections=2)
+    results = []
+
+    def client():
+        request, stats = yield from listener.connect(rtt=0.001)
+        results.append(stats)
+        listener.close(request)
+
+    sim.process(client())
+    sim.run()
+    assert results[0].syn_retries == 0
+    assert results[0].connect_delay == pytest.approx(0.001)
+    assert listener.accepted == 1
+
+
+def test_tcp_backlog_overflow_causes_retry_spikes():
+    """Blocked SYNs retry at +1 s / +3 s cumulative — Figure 11's spikes."""
+    sim = Simulation()
+    listener = TcpListener(sim, "web", max_connections=1, syn_backlog=1)
+    delays = []
+
+    def holder():
+        request, _ = yield from listener.connect(rtt=0)
+        yield sim.timeout(2.5)
+        listener.close(request)
+
+    def filler():
+        # Occupies the single backlog slot until the holder releases.
+        request, _ = yield from listener.connect(rtt=0)
+        listener.close(request)
+
+    def victim():
+        yield sim.timeout(0.001)  # arrive after backlog is full
+        request, stats = yield from listener.connect(rtt=0)
+        delays.append((stats.syn_retries, round(stats.connect_delay, 3)))
+        listener.close(request)
+
+    sim.process(holder())
+    sim.process(filler())
+    sim.process(victim())
+    sim.run()
+    retries, delay = delays[0]
+    assert retries >= 1
+    assert delay >= 1.0  # at least one 1-second SYN retransmission
+
+
+def test_tcp_connect_times_out_after_retries():
+    sim = Simulation()
+    listener = TcpListener(sim, "web", max_connections=1, syn_backlog=1)
+    outcome = []
+
+    def holder():
+        yield from listener.connect(rtt=0)  # never closed
+
+    def filler():
+        yield from listener.connect(rtt=0)
+
+    def victim():
+        yield sim.timeout(0.001)
+        try:
+            yield from listener.connect(rtt=0, max_retries=2)
+        except ConnectTimeout:
+            outcome.append(sim.now)
+
+    sim.process(holder())
+    sim.process(filler())
+    sim.process(victim())
+    sim.run()
+    # Dropped at t~0, retried after 1 s and 2 s, then gave up: t ~ 3.001.
+    assert outcome and outcome[0] == pytest.approx(3.001)
+    assert listener.syn_drops >= 3
+
+
+def test_tcp_listener_validation():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        TcpListener(sim, "bad", max_connections=0)

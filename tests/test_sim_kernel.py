@@ -1,0 +1,331 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    EmptySchedule, Event, Interrupt, Simulation, SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    assert Simulation().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulation(start=5.0).now == 5.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulation()
+    log = []
+
+    def proc():
+        yield sim.timeout(3.5)
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [3.5]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_timeout_carries_value():
+    sim = Simulation()
+    got = []
+
+    def proc():
+        value = yield sim.timeout(1, value="payload")
+        got.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_events_fire_in_time_order():
+    sim = Simulation()
+    order = []
+
+    def proc(delay, tag):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    for delay, tag in [(3, "c"), (1, "a"), (2, "b")]:
+        sim.process(proc(delay, tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_fifo_among_simultaneous_events():
+    sim = Simulation()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1)
+        order.append(tag)
+
+    for tag in range(5):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_time_stops_clock():
+    sim = Simulation()
+
+    def ticker():
+        while True:
+            yield sim.timeout(1)
+
+    sim.process(ticker())
+    sim.run(until=10)
+    assert sim.now == 10
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulation()
+
+    def proc():
+        yield sim.timeout(5)
+
+    sim.process(proc())
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.run(until=1)
+
+
+def test_process_requires_generator():
+    sim = Simulation()
+    with pytest.raises(TypeError):
+        sim.process([1, 2, 3])
+
+
+def test_run_until_event_returns_value():
+    sim = Simulation()
+
+    def proc():
+        yield sim.timeout(2)
+        return 42
+
+    result = sim.run(until=sim.process(proc()))
+    assert result == 42
+    assert sim.now == 2
+
+
+def test_run_until_event_never_fires_raises():
+    sim = Simulation()
+    pending = sim.event()
+
+    def proc():
+        yield sim.timeout(1)
+
+    sim.process(proc())
+    with pytest.raises(SimulationError):
+        sim.run(until=pending)
+
+
+def test_process_waits_on_process():
+    sim = Simulation()
+    log = []
+
+    def child():
+        yield sim.timeout(4)
+        return "done"
+
+    def parent():
+        result = yield sim.process(child())
+        log.append((sim.now, result))
+
+    sim.process(parent())
+    sim.run()
+    assert log == [(4, "done")]
+
+
+def test_yield_non_event_raises_in_process():
+    sim = Simulation()
+
+    def proc():
+        yield 17
+
+    sim.process(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulation()
+    gate = sim.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((sim.now, value))
+
+    def opener():
+        yield sim.timeout(7)
+        gate.succeed("open")
+
+    sim.process(waiter())
+    sim.process(opener())
+    sim.run()
+    assert log == [(7, "open")]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulation()
+    gate = sim.event()
+    gate.succeed()
+    with pytest.raises(SimulationError):
+        gate.succeed()
+
+
+def test_event_fail_propagates_to_waiter():
+    sim = Simulation()
+    gate = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield sim.timeout(1)
+        gate.fail(RuntimeError("boom"))
+
+    sim.process(waiter())
+    sim.process(failer())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulation()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_unhandled_process_exception_surfaces():
+    sim = Simulation()
+
+    def bad():
+        yield sim.timeout(1)
+        raise ValueError("unhandled")
+
+    sim.process(bad())
+    with pytest.raises(ValueError, match="unhandled"):
+        sim.run()
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulation()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100)
+        except Interrupt as interrupt:
+            log.append((sim.now, interrupt.cause))
+
+    def interrupter(victim):
+        yield sim.timeout(3)
+        victim.interrupt(cause="failure-injection")
+
+    victim = sim.process(sleeper())
+    sim.process(interrupter(victim))
+    sim.run()
+    assert log == [(3, "failure-injection")]
+
+
+def test_interrupt_dead_process_rejected():
+    sim = Simulation()
+
+    def quick():
+        yield sim.timeout(1)
+
+    victim = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        victim.interrupt()
+
+
+def test_any_of_fires_on_first():
+    sim = Simulation()
+    log = []
+
+    def proc():
+        t_fast = sim.timeout(1, value="fast")
+        t_slow = sim.timeout(5, value="slow")
+        result = yield sim.any_of([t_fast, t_slow])
+        log.append((sim.now, sorted(result.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert log == [(1, ["fast"])]
+
+
+def test_all_of_waits_for_all():
+    sim = Simulation()
+    log = []
+
+    def proc():
+        events = [sim.timeout(d, value=d) for d in (1, 5, 3)]
+        result = yield sim.all_of(events)
+        log.append((sim.now, sorted(result.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert log == [(5, [1, 3, 5])]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulation()
+    log = []
+
+    def proc():
+        yield sim.all_of([])
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [0.0]
+
+
+def test_step_on_empty_schedule_raises():
+    with pytest.raises(EmptySchedule):
+        Simulation().step()
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulation()
+    sim.timeout(9)
+    assert sim.peek() == 9
+    sim.run()
+    assert sim.peek() == float("inf")
+
+
+def test_process_value_available_after_run():
+    sim = Simulation()
+
+    def proc():
+        yield sim.timeout(1)
+        return "result"
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.ok and p.value == "result"
+
+
+def test_event_value_unavailable_before_trigger():
+    sim = Simulation()
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+    with pytest.raises(SimulationError):
+        _ = event.ok

@@ -1,0 +1,64 @@
+"""Tests for the Section 6 TCO model against Tables 9 and 10."""
+
+import pytest
+
+from repro.core import paperdata as paper
+from repro.tco import (
+    DELL_TCO, EDISON_TCO, TcoInputs, cluster_tco, node_energy_cost,
+    savings_fraction, table10,
+)
+
+
+def test_tco_inputs_match_table9():
+    assert EDISON_TCO.node_cost_usd == 120
+    assert DELL_TCO.node_cost_usd == 2500
+    assert EDISON_TCO.peak_power_w == pytest.approx(1.68)
+    assert EDISON_TCO.idle_power_w == pytest.approx(1.40)
+    assert DELL_TCO.peak_power_w == pytest.approx(109)
+    assert DELL_TCO.idle_power_w == pytest.approx(52)
+
+
+def test_tco_inputs_validation():
+    with pytest.raises(ValueError):
+        TcoInputs(node_cost_usd=-1, peak_power_w=2, idle_power_w=1)
+    with pytest.raises(ValueError):
+        TcoInputs(node_cost_usd=1, peak_power_w=1, idle_power_w=2)
+    with pytest.raises(ValueError):
+        TcoInputs(node_cost_usd=1, peak_power_w=2, idle_power_w=1,
+                  lifetime_years=0)
+
+
+def test_node_energy_cost_idle_server():
+    inputs = TcoInputs(node_cost_usd=0, peak_power_w=100, idle_power_w=100)
+    # 100 W for 3 years at $0.10/kWh = 0.1 kW * 26280 h * 0.1 $/kWh.
+    assert node_energy_cost(inputs, 0.0) == pytest.approx(262.8)
+    with pytest.raises(ValueError):
+        node_energy_cost(inputs, 1.5)
+
+
+def test_cluster_tco_scales_with_nodes():
+    assert cluster_tco(EDISON_TCO, 35, 0.5) == pytest.approx(
+        35 * cluster_tco(EDISON_TCO, 1, 0.5))
+    with pytest.raises(ValueError):
+        cluster_tco(EDISON_TCO, 0, 0.5)
+
+
+@pytest.mark.parametrize("scenario,load", [
+    ("web", "low"), ("web", "high"), ("bigdata", "low"), ("bigdata", "high"),
+])
+def test_table10_matches_paper(scenario, load):
+    ours = table10()[(scenario, load)]
+    published = paper.T10[(scenario, load)]
+    assert ours["dell"] == pytest.approx(published["dell"], rel=0.02)
+    assert ours["edison"] == pytest.approx(published["edison"], rel=0.02)
+
+
+def test_edison_cluster_saves_up_to_47_percent():
+    results = table10()
+    best = max(savings_fraction(v) for v in results.values())
+    assert best == pytest.approx(0.47, abs=0.02)
+
+
+def test_edison_always_cheaper():
+    for scenario in table10().values():
+        assert scenario["edison"] < scenario["dell"]

@@ -1,0 +1,132 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.core import paperdata as paper
+from repro.workloads import (
+    Dataset, LogGenerator, TeragenGenerator, WikiDatabase,
+    ZipfTextGenerator, build_tables, logcount_dataset, split_evenly,
+    table_weights, terasort_dataset, wordcount_dataset,
+)
+from repro.workloads.datasets import DatasetFile
+
+
+def test_split_evenly_preserves_total():
+    files = split_evenly(1_000_003, 7, "f", bytes_per_record=10)
+    assert sum(f.size_bytes for f in files) == 1_000_003
+    assert len(files) == 7
+
+
+def test_split_evenly_validation():
+    with pytest.raises(ValueError):
+        split_evenly(5, 10, "f", 1)
+    with pytest.raises(ValueError):
+        split_evenly(10, 0, "f", 1)
+
+
+def test_dataset_totals_and_validation():
+    files = split_evenly(1000, 4, "f", bytes_per_record=10)
+    ds = Dataset("d", files, map_output_record_bytes=10,
+                 map_output_ratio=1.5, combine_survival=0.1)
+    assert ds.total_bytes == 1000
+    assert ds.file_count == 4
+    assert ds.total_records == pytest.approx(100, abs=4)
+    with pytest.raises(ValueError):
+        Dataset("d", (), 10, 1.0, 0.1)
+    with pytest.raises(ValueError):
+        Dataset("d", files, 10, 1.0, 0.0)
+
+
+def test_wordcount_dataset_matches_paper():
+    ds = wordcount_dataset()
+    assert ds.file_count == paper.WORDCOUNT_INPUT_FILES
+    assert ds.total_bytes == paper.WORDCOUNT_INPUT_BYTES
+    # <word, 1> records inflate the input (~10 B out per ~6 B word).
+    assert ds.map_output_ratio > 1.3
+    assert ds.combine_survival < 0.1
+
+
+def test_logcount_dataset_matches_paper():
+    ds = logcount_dataset()
+    assert ds.file_count == paper.LOGCOUNT_INPUT_FILES
+    assert ds.total_bytes == paper.LOGCOUNT_INPUT_BYTES
+    # Tiny keys from long lines: output is a small fraction of input.
+    assert ds.map_output_ratio < 0.3
+    assert ds.combine_survival < ds.map_output_ratio
+
+
+def test_terasort_dataset_block_layout():
+    ds = terasort_dataset()
+    assert ds.total_bytes == paper.TERASORT_INPUT_BYTES
+    assert ds.file_count == paper.TERASORT_MAPS       # 168 x 64 MB
+    assert ds.map_output_ratio == 1.0
+    assert ds.combine_survival == 1.0
+
+
+def test_zipf_text_is_deterministic_and_skewed():
+    words_a = ZipfTextGenerator(seed=3).words(2000)
+    words_b = ZipfTextGenerator(seed=3).words(2000)
+    assert words_a == words_b
+    counts = {}
+    for word in words_a:
+        counts[word] = counts.get(word, 0) + 1
+    top = max(counts.values())
+    assert top > 20                    # Zipf head dominates
+    assert len(counts) > 100           # with a long tail
+
+
+def test_zipf_text_bytes_close_to_request():
+    text = ZipfTextGenerator(seed=3).text(5000)
+    assert 3500 < len(text) < 7000
+
+
+def test_log_generator_lines_parse():
+    gen = LogGenerator(seed=5)
+    for line in gen.lines(50):
+        key = LogGenerator.extract_key(line)
+        date, level = key.split(" ")
+        assert date.startswith("2016-02-")
+        assert level in ("INFO", "WARN", "ERROR", "DEBUG")
+
+
+def test_log_generator_validation():
+    with pytest.raises(ValueError):
+        LogGenerator(days=0)
+    with pytest.raises(ValueError):
+        LogGenerator().lines(-1)
+
+
+def test_teragen_records_fixed_width():
+    gen = TeragenGenerator(seed=2)
+    records = gen.records(20)
+    assert all(len(r) == 100 for r in records)
+    keys = [TeragenGenerator.key_of(r) for r in records]
+    assert all(len(k) == 10 for k in keys)
+    assert TeragenGenerator(seed=2).records(20) == records
+
+
+def test_wiki_tables_match_paper_shape():
+    tables = build_tables()
+    assert len(tables) == 15
+    image = [t for t in tables if t.is_image]
+    assert len(image) == 4
+    total = sum(t.rows * t.mean_row_bytes for t in tables)
+    assert total == pytest.approx(20e9, rel=0.01)
+
+
+def test_table_weights_control_image_fraction():
+    tables = build_tables()
+    weights = table_weights(0.2, tables)
+    image_weight = sum(w for w, t in zip(weights, tables) if t.is_image)
+    assert image_weight == pytest.approx(0.2)
+    assert sum(weights) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        table_weights(1.5, tables)
+
+
+def test_wiki_rows_deterministic():
+    db = WikiDatabase(seed=11)
+    table = db.tables[0]
+    assert db.row_bytes(table, 5) == WikiDatabase(seed=11).row_bytes(table, 5)
+    payload = db.row_payload(table, 5)
+    assert len(payload) == db.row_bytes(table, 5)
