@@ -28,6 +28,8 @@ from .mapreduce import JOB_FACTORIES, TABLE8_JOBS, JobReport, JobRunner, \
     JobSpec, run_job
 from .sim import Simulation
 from .tco import cluster_tco, table10
+from .trace import TraceLog, Tracer, delay_decomposition_from_trace, \
+    to_chrome_trace, write_chrome_trace
 from .web import WebServiceDeployment, WebWorkload, delay_distribution, \
     measure_delay_decomposition, sweep_concurrency
 
@@ -37,9 +39,10 @@ __all__ = [
     "Cluster", "DELL_R620", "EDISON", "EDISON_INTEGRATED_NIC",
     "EnergyReport", "JOB_FACTORIES", "JobReport", "JobRunner", "JobSpec",
     "PowerMeter", "Server", "ServerSpec", "Simulation", "TABLE8_JOBS",
-    "WebServiceDeployment", "WebWorkload", "cluster_tco", "dell_cluster",
+    "TraceLog", "Tracer", "WebServiceDeployment", "WebWorkload",
+    "cluster_tco", "delay_decomposition_from_trace", "dell_cluster",
     "delay_distribution", "edison_cluster", "hadoop_cluster", "make_server",
     "measure_delay_decomposition", "paperdata", "run_job",
-    "sweep_concurrency", "table10", "web_cluster", "work_done_per_joule",
-    "__version__",
+    "sweep_concurrency", "table10", "to_chrome_trace", "web_cluster",
+    "work_done_per_joule", "write_chrome_trace", "__version__",
 ]

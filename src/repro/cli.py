@@ -15,6 +15,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -28,17 +29,40 @@ from .microbench import run_dd, run_dhrystone, run_ioping, run_iperf, \
     run_ping, run_sysbench_cpu, run_sysbench_memory
 from .sim import Simulation
 from .tco import savings_fraction, table10
+from .trace import Tracer, write_chrome_trace
 from .web import WebServiceDeployment, WebWorkload, delay_distribution, \
     measure_delay_decomposition
+
+
+def _make_tracer(args):
+    """A Tracer when ``--trace`` was given, else None."""
+    if not getattr(args, "trace", None):
+        return None
+    parent = os.path.dirname(args.trace) or "."
+    if not os.path.isdir(parent):
+        # fail before the simulation runs, not after minutes of work
+        raise SystemExit(f"repro: error: --trace directory does not exist: "
+                         f"{parent}")
+    return Tracer()
+
+
+def _export_trace(tracer, args) -> None:
+    if tracer is None:
+        return
+    write_chrome_trace(tracer.log, args.trace)
+    print(f"trace: {len(tracer.log)} events -> {args.trace} "
+          f"(open in https://ui.perfetto.dev)")
 
 
 def _cmd_web(args) -> int:
     workload = WebWorkload(image_fraction=args.images,
                            cache_hit_ratio=args.hit_ratio)
+    tracer = _make_tracer(args)
     deployment = WebServiceDeployment(args.platform, args.scale, workload,
-                                      seed=args.seed)
+                                      seed=args.seed, trace=tracer)
     level = deployment.run_level(args.concurrency, duration=args.duration,
                                  warmup=args.duration / 3)
+    _export_trace(tracer, args)
     print(format_table(
         ("metric", "value"),
         [("requests/s", f"{level.requests_per_second:.0f}"),
@@ -55,8 +79,10 @@ def _cmd_web(args) -> int:
 
 def _cmd_job(args) -> int:
     spec, config = JOB_FACTORIES[args.name](args.platform, args.slaves)
+    tracer = _make_tracer(args)
     report = run_job(args.platform, args.slaves, spec, config=config,
-                     seed=args.seed)
+                     seed=args.seed, trace=tracer)
+    _export_trace(tracer, args)
     print(format_table(
         ("metric", "value"),
         [("run time (s)", f"{report.seconds:.0f}"),
@@ -203,6 +229,9 @@ def build_parser() -> argparse.ArgumentParser:
     web.add_argument("--images", type=float, default=0.0,
                      help="image-query fraction (0-1)")
     web.add_argument("--hit-ratio", type=float, default=0.93)
+    web.add_argument("--trace", metavar="PATH",
+                     help="write a Chrome/Perfetto trace of the run "
+                          "to PATH")
     web.set_defaults(func=_cmd_web)
 
     job = sub.add_parser("job", help="run one MapReduce job")
@@ -210,6 +239,9 @@ def build_parser() -> argparse.ArgumentParser:
     job.add_argument("--platform", choices=("edison", "dell"),
                      default="edison")
     job.add_argument("--slaves", type=int, default=35)
+    job.add_argument("--trace", metavar="PATH",
+                     help="write a Chrome/Perfetto trace of the run "
+                          "to PATH")
     job.set_defaults(func=_cmd_job)
 
     sub.add_parser("table2", help="capacity estimate") \

@@ -61,6 +61,12 @@ class PowerMeter:
         n = len(self.servers)
         for key, series in self.per_component.items():
             series.record(self.sim.now, totals[key] / n)
+        trace = self.sim.trace
+        if trace is not None:
+            trace.counter(self.series.name, watts, category="power")
+            for key in self.per_component:
+                trace.counter(f"{self.name}.{key}", totals[key] / n,
+                              category="power")
         return watts
 
     def energy_joules(self) -> float:

@@ -144,12 +144,13 @@ class JobRunner:
                  config: Optional[HadoopConfig] = None,
                  seed: int = 20160901,
                  edison_spec: Optional[ServerSpec] = None,
-                 master_spec: Optional[ServerSpec] = None):
+                 master_spec: Optional[ServerSpec] = None,
+                 trace=None):
         self.platform = platform
         self.slaves = slaves
         self.config = config if config is not None \
             else default_config(platform)
-        self.sim = Simulation()
+        self.sim = Simulation(trace=trace)
         self.rng = RngStreams(seed)
         kwargs = {}
         if edison_spec is not None:
@@ -244,12 +245,19 @@ class JobRunner:
 
     def _sampler(self, state: "_JobState", timeline: JobTimeline,
                  interval: float, done) -> None:
+        trace = self.sim.trace
         while not done.processed:
             now = self.sim.now
             timeline.map_progress.record(
                 now, state.maps_done / state.spec.map_tasks)
             reduces = max(1, state.spec.reduce_tasks)
             timeline.reduce_progress.record(now, state.reduces_done / reduces)
+            if trace is not None:
+                trace.counter("map_progress", timeline.map_progress.values[-1],
+                              category="sample")
+                trace.counter("reduce_progress",
+                              timeline.reduce_progress.values[-1],
+                              category="sample")
             if self.meter.series.times:
                 timeline.power_w.record(now, self.meter.series.values[-1])
                 timeline.cpu.record(now, self.meter.per_component["cpu"].values[-1])
@@ -315,14 +323,19 @@ class JobRunner:
                     state.placed_maps += 1
                     if local:
                         state.local_maps += 1
+            attempt_start = self.sim.now
             try:
                 out_bytes = yield from self._map_attempt(
                     spec, grant.node, hdfs_file, factor)
             except TaskFailed:
                 state.failed_attempts += 1
+                self._trace_attempt("map", grant.node, attempt_start,
+                                    attempt, ok=False)
                 continue
             finally:
                 self.yarn.release(grant)
+            self._trace_attempt("map", grant.node, attempt_start,
+                                attempt, ok=True, out_bytes=out_bytes)
             state.record_map_output(grant.node, out_bytes)
             state.map_finished(self.sim)
             return
@@ -360,12 +373,18 @@ class JobRunner:
 
     def _reduce_task(self, spec: JobSpec, state: "_JobState", factor: float):
         grant = yield from self.yarn.allocate(spec.reduce_mem_mb)
+        attempt_start = self.sim.now
         try:
             yield from self._task_overhead(grant.node, factor)
             # Shuffle can begin once slowstart fired (we are running), but
             # the tail of map output only exists when all maps are done.
             yield state.all_maps_done
+            shuffle_start = self.sim.now
             input_bytes = yield from self._shuffle(spec, state, grant.node)
+            if self.sim.trace is not None:
+                self.sim.trace.complete("shuffle", shuffle_start,
+                                        category="task", node=grant.node,
+                                        nbytes=input_bytes)
             buffer_bytes = spec.reduce_mem_mb * 1e6 * MERGE_BUFFER_FRACTION
             server = self.cluster.servers[grant.node]
             if input_bytes > buffer_bytes:
@@ -383,7 +402,16 @@ class JobRunner:
             yield from self.yarn.master_commit()
         finally:
             self.yarn.release(grant)
+        self._trace_attempt("reduce", grant.node, attempt_start, 0, ok=True)
         state.reduces_done += 1
+
+    def _trace_attempt(self, kind: str, node: str, start: float,
+                       attempt: int, ok: bool, **attrs) -> None:
+        """Emit one task-attempt lifecycle span (no-op when untraced)."""
+        if self.sim.trace is not None:
+            self.sim.trace.complete(f"{kind}-attempt", start,
+                                    category="task", node=node,
+                                    attempt=attempt, ok=ok, **attrs)
 
     def _shuffle(self, spec: JobSpec, state: "_JobState",
                  node: str) -> float:
@@ -485,8 +513,9 @@ def run_job(platform: str, slaves: int, spec: JobSpec,
             config: Optional[HadoopConfig] = None, seed: int = 20160901,
             edison_spec: Optional[ServerSpec] = None,
             master_spec: Optional[ServerSpec] = None,
-            deadline_s: float = 100_000.0) -> JobReport:
+            deadline_s: float = 100_000.0, trace=None) -> JobReport:
     """Convenience wrapper: build a fresh cluster and run one job."""
     runner = JobRunner(platform, slaves, config=config, seed=seed,
-                       edison_spec=edison_spec, master_spec=master_spec)
+                       edison_spec=edison_spec, master_spec=master_spec,
+                       trace=trace)
     return runner.run(spec, deadline_s=deadline_s)

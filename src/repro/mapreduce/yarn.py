@@ -10,13 +10,15 @@ the achieved data-locality fraction the paper reports (~95 %).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from ..hardware.server import Server
 from ..sim import Simulation
 from .config import HadoopConfig
+
+if TYPE_CHECKING:   # the scheduler never touches the global random module:
+    import random   # all draws come through a seeded repro.sim.rng stream
 
 
 @dataclass
@@ -50,7 +52,17 @@ class NodeManager:
         self.server.memory.reserve(mem_mb * 1e6)
 
     def release(self, mem_mb: int) -> None:
-        self.free_mem_mb = min(self.total_mem_mb, self.free_mem_mb + mem_mb)
+        if mem_mb < 1:
+            raise ValueError("mem_mb must be >= 1")
+        if self.free_mem_mb + mem_mb > self.total_mem_mb:
+            # An over-release means a container was returned twice (or
+            # with the wrong size); clamping here would silently mask
+            # the double-release and corrupt the memory mirror below.
+            raise ValueError(
+                f"{self.server.name}: releasing {mem_mb} MB would leave "
+                f"{self.free_mem_mb + mem_mb} MB free of "
+                f"{self.total_mem_mb} MB total — double release?")
+        self.free_mem_mb += mem_mb
         self.server.memory.free(mem_mb * 1e6)
 
 
@@ -133,6 +145,7 @@ class YarnScheduler:
         """
         if mem_mb < 1:
             raise ValueError("mem_mb must be >= 1")
+        requested_at = self.sim.now
         heartbeats = 0
         while True:
             # Requests ride the next NM heartbeat (jittered).
@@ -150,6 +163,11 @@ class YarnScheduler:
                          or heartbeats >= self.LOCALITY_WAIT_HEARTBEATS)
             grant = self._try_grant(mem_mb, preferred, allow_any)
             if grant is not None:
+                if self.sim.trace is not None:
+                    self.sim.trace.complete(
+                        "container.wait", requested_at, category="yarn",
+                        node=grant.node, mem_mb=grant.mem_mb,
+                        local=grant.local, heartbeats=heartbeats)
                 return grant
             heartbeats += 1
 
@@ -170,3 +188,6 @@ class YarnScheduler:
     def release(self, grant: ContainerGrant) -> None:
         """Return a container's memory to its node."""
         self.nodes[grant.node].release(grant.mem_mb)
+        if self.sim.trace is not None:
+            self.sim.trace.instant("container.release", category="yarn",
+                                   node=grant.node, mem_mb=grant.mem_mb)

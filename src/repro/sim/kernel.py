@@ -138,6 +138,8 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        if sim.trace is not None:
+            self._trace_started = sim.now
         # Kick off the generator at the current time.
         init = Event(sim)
         init._ok = True
@@ -184,11 +186,13 @@ class Process(Event):
                 self._ok = True
                 self._value = exc.value
                 self.sim._schedule(self)
+                self._trace_end()
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
                 self.sim._schedule(self)
+                self._trace_end()
                 break
             if not isinstance(target, Event):
                 exc = SimulationError(
@@ -211,6 +215,14 @@ class Process(Event):
             # Already processed: loop around and deliver immediately.
             event = target
         self.sim._active_process = None
+
+    def _trace_end(self) -> None:
+        trace = self.sim.trace
+        started = getattr(self, "_trace_started", None)
+        if trace is None or started is None:
+            return
+        trace.complete(f"process:{self.name}", started, category="kernel",
+                       ok=bool(self._ok))
 
 
 class Condition(Event):
@@ -271,13 +283,26 @@ class Simulation:
     ----------
     start:
         Initial value of the simulated clock (seconds).
+    trace:
+        Optional :class:`repro.trace.Tracer`.  When given, the kernel
+        (and every instrumented layer reaching it as ``sim.trace``)
+        emits structured events: process lifecycle spans and
+        event-calendar statistics.  ``None`` (the default) keeps every
+        instrumented path at a single None-check — no events are
+        created and simulation results are bit-identical.
     """
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0, trace: Optional[Any] = None):
         self._now = float(start)
         self._heap: list = []
         self._seq = count()
         self._active_process: Optional[Process] = None
+        self.trace = trace
+        self._events_scheduled = 0
+        self._events_processed = 0
+        self._heap_peak = 0
+        if trace is not None:
+            trace.bind(self)
 
     @property
     def now(self) -> float:
@@ -317,6 +342,10 @@ class Simulation:
                   delay: float = 0.0) -> None:
         heapq.heappush(
             self._heap, (self._now + delay, priority, next(self._seq), event))
+        if self.trace is not None:
+            self._events_scheduled += 1
+            if len(self._heap) > self._heap_peak:
+                self._heap_peak = len(self._heap)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
@@ -328,6 +357,8 @@ class Simulation:
             self._now, _, _, event = heapq.heappop(self._heap)
         except IndexError:
             raise EmptySchedule("no scheduled events") from None
+        if self.trace is not None:
+            self._events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -369,6 +400,17 @@ class Simulation:
                 raise SimulationError(
                     "schedule drained before the until-event fired") from None
             return None
+        finally:
+            if self.trace is not None:
+                self.trace.instant("calendar", category="kernel",
+                                   **self.calendar_stats())
+
+    def calendar_stats(self) -> dict:
+        """Event-calendar counters (collected only while tracing is on)."""
+        return {"scheduled": self._events_scheduled,
+                "processed": self._events_processed,
+                "heap_peak": self._heap_peak,
+                "heap_now": len(self._heap)}
 
     @staticmethod
     def _stop_callback(event: Event) -> None:

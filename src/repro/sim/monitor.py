@@ -75,15 +75,22 @@ class TimeSeries:
 def periodic_sampler(sim: Simulation, interval: float,
                      probe: Callable[[], float],
                      series: TimeSeries,
-                     until: Optional[float] = None):
+                     until: Optional[float] = None,
+                     tracer=None, category: str = "sample"):
     """Process generator: sample ``probe()`` into ``series`` every ``interval``.
 
     Start it with ``sim.process(periodic_sampler(...))``.  Sampling stops
     when the simulation drains or, if given, when ``sim.now`` reaches
-    ``until``.
+    ``until``.  When a :class:`repro.trace.Tracer` is passed, each sample
+    is also emitted as a counter event so the series lands on the same
+    timeline as the spans of a traced run; behaviour is unchanged when
+    ``tracer`` is ``None``.
     """
     if interval <= 0:
         raise ValueError(f"interval must be > 0, got {interval}")
     while until is None or sim.now <= until:
-        series.record(sim.now, probe())
+        value = probe()
+        series.record(sim.now, value)
+        if tracer is not None:
+            tracer.counter(series.name, value, category=category)
         yield sim.timeout(interval)

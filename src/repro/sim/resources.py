@@ -117,9 +117,17 @@ class Resource:
             return
         self._accumulate()
         self.users.remove(request)
+        trace = self.sim.trace
+        if trace is not None:
+            granted = getattr(request, "_granted_at", None)
+            if granted is not None:
+                trace.complete(f"{self.name}.hold", granted,
+                               category="resource")
         self._grant_waiters()
 
     def _enqueue(self, request: Request) -> None:
+        if self.sim.trace is not None:
+            request._enqueued_at = self.sim.now
         self.queue.append(request)
         self._grant_waiters()
 
@@ -130,10 +138,19 @@ class Resource:
             raise SimulationError("cannot cancel a granted request") from None
 
     def _grant_waiters(self) -> None:
+        trace = self.sim.trace
         while self.queue and len(self.users) < self.capacity:
             self._accumulate()
             request = self.queue.popleft()
             self.users.append(request)
+            if trace is not None:
+                request._granted_at = self.sim.now
+                enqueued = getattr(request, "_enqueued_at", None)
+                # Contended acquisitions leave a wait span; immediate
+                # grants would only add zero-length noise.
+                if enqueued is not None and enqueued < self.sim.now:
+                    trace.complete(f"{self.name}.wait", enqueued,
+                                   category="resource")
             request.succeed(self)
 
 

@@ -1,0 +1,41 @@
+"""repro.trace — structured tracing, metrics and profiling.
+
+The observability subsystem for every simulated layer: a bounded
+append-only :class:`TraceLog` of :class:`TraceEvent` records, a
+:class:`Tracer` that layers emit spans/instants/counters through, a
+:class:`MetricsRegistry` of counters/gauges/log-bucketed
+:class:`Histogram` percentiles, and exporters to Chrome trace-event
+JSON (Perfetto-loadable), JSON-lines and CSV.
+
+Enable tracing by constructing the simulation with a tracer::
+
+    from repro.sim import Simulation
+    from repro.trace import Tracer
+
+    tracer = Tracer()
+    sim = Simulation(trace=tracer)
+    ...  # run anything; layers emit through sim.trace
+    from repro.trace import write_chrome_trace
+    write_chrome_trace(tracer.log, "out.json")
+
+When no tracer is attached (``trace=None``, the default) every
+instrumented path reduces to a single None-check — no events, no
+allocation, identical simulation results.
+"""
+
+from .analysis import (TraceDecomposition, delay_decomposition_from_trace,
+                       span_time_by_name)
+from .events import (PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN, TraceEvent,
+                     TraceLog)
+from .export import to_chrome_trace, write_chrome_trace, write_csv, \
+    write_jsonl
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "PHASE_COUNTER",
+    "PHASE_INSTANT", "PHASE_SPAN", "TraceDecomposition", "TraceEvent",
+    "TraceLog", "Tracer", "delay_decomposition_from_trace",
+    "span_time_by_name", "to_chrome_trace", "write_chrome_trace",
+    "write_csv", "write_jsonl",
+]

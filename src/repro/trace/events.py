@@ -1,0 +1,142 @@
+"""Trace records and the append-only log that collects them.
+
+A :class:`TraceEvent` is one timestamped observation from a simulated
+layer — a completed span (``phase == "X"``), an instantaneous marker
+(``"i"``) or a counter sample (``"C"``), mirroring the Chrome
+trace-event phases so the export in :mod:`repro.trace.export` is a
+straight mapping.  A :class:`TraceLog` collects events append-only,
+optionally filtered down to a set of categories and optionally bounded
+to the most recent *N* events (ring-buffer mode) so week-long simulated
+runs cannot exhaust host memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+#: Phase tags (a subset of the Chrome trace-event phases).
+PHASE_SPAN = "X"       # complete span: [ts, ts + dur]
+PHASE_INSTANT = "i"    # point-in-time marker
+PHASE_COUNTER = "C"    # sampled counter value
+
+_VALID_PHASES = frozenset((PHASE_SPAN, PHASE_INSTANT, PHASE_COUNTER))
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observation: what happened, where, and when.
+
+    Parameters
+    ----------
+    ts:
+        Simulated time of the event (seconds).  For spans this is the
+        *start* of the span.
+    category:
+        Coarse grouping used for filtering (``"kernel"``, ``"resource"``,
+        ``"yarn"``, ``"task"``, ``"web"``, ``"power"`` ...).
+    name:
+        What the event is (``"request"``, ``"container.wait"`` ...).
+    node:
+        Simulated server the event belongs to (``""`` for global events).
+    attrs:
+        Free-form payload; must stay JSON-serialisable for the exporters.
+    phase:
+        One of :data:`PHASE_SPAN`, :data:`PHASE_INSTANT`,
+        :data:`PHASE_COUNTER`.
+    dur:
+        Span duration in seconds (0 for non-span events).
+    """
+
+    ts: float
+    category: str
+    name: str
+    node: str = ""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    phase: str = PHASE_INSTANT
+    dur: float = 0.0
+
+    def __post_init__(self):
+        if self.phase not in _VALID_PHASES:
+            raise ValueError(f"unknown phase {self.phase!r}")
+        if self.ts < 0 or self.dur < 0:
+            raise ValueError("ts and dur must be >= 0")
+
+    @property
+    def end(self) -> float:
+        """Simulated time the event ends (``ts`` for non-spans)."""
+        return self.ts + self.dur
+
+
+class TraceLog:
+    """Append-only event collector with filtering and bounded memory.
+
+    Parameters
+    ----------
+    max_events:
+        When given, keep only the most recent ``max_events`` accepted
+        events (ring-buffer mode); :attr:`evicted` counts the overwritten
+        ones.
+    categories:
+        When given, only events whose category is in this set are kept;
+        :attr:`filtered` counts the rejected ones.  Emitters can consult
+        :meth:`accepts` to skip building attrs for doomed events.
+    """
+
+    def __init__(self, max_events: Optional[int] = None,
+                 categories: Optional[Iterable[str]] = None):
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.categories = frozenset(categories) if categories else None
+        self._events: deque = deque(maxlen=max_events)
+        self.accepted = 0
+        self.filtered = 0
+
+    # -- write side ------------------------------------------------------
+
+    def accepts(self, category: str) -> bool:
+        """True when an event of ``category`` would be kept."""
+        return self.categories is None or category in self.categories
+
+    def append(self, event: TraceEvent) -> bool:
+        """Record ``event``; returns False when category-filtered out."""
+        if not self.accepts(event.category):
+            self.filtered += 1
+            return False
+        self._events.append(event)
+        self.accepted += 1
+        return True
+
+    # -- read side -------------------------------------------------------
+
+    @property
+    def evicted(self) -> int:
+        """Accepted events overwritten by the ring buffer."""
+        return self.accepted - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, category: Optional[str] = None,
+               name: Optional[str] = None,
+               phase: Optional[str] = None) -> List[TraceEvent]:
+        """Retained events, optionally narrowed by category/name/phase."""
+        return [e for e in self._events
+                if (category is None or e.category == category)
+                and (name is None or e.name == name)
+                and (phase is None or e.phase == phase)]
+
+    def spans(self, category: Optional[str] = None,
+              name: Optional[str] = None) -> List[TraceEvent]:
+        """Retained complete spans (phase ``"X"``)."""
+        return self.events(category=category, name=name, phase=PHASE_SPAN)
+
+    def counters(self, category: Optional[str] = None,
+                 name: Optional[str] = None) -> List[TraceEvent]:
+        """Retained counter samples (phase ``"C"``)."""
+        return self.events(category=category, name=name, phase=PHASE_COUNTER)

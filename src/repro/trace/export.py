@@ -1,0 +1,98 @@
+"""Exporters: Chrome trace-event JSON, JSON-lines and CSV.
+
+``to_chrome_trace`` maps a :class:`~repro.trace.events.TraceLog` onto
+the Chrome trace-event format, loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``: spans become complete
+("X") events, instants become "i", counter samples become "C", and each
+simulated node gets its own named thread track.  Timestamps are emitted
+in microseconds as the format requires.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List
+
+from .events import (PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN, TraceEvent,
+                     TraceLog)
+
+#: Chrome trace timestamps are microseconds; the simulation runs in seconds.
+_US = 1e6
+
+#: pid under which every track is filed (one simulated cluster = one process).
+_PID = 1
+
+
+def to_chrome_trace(log: TraceLog) -> Dict:
+    """Render ``log`` as a Chrome trace-event JSON object (a dict)."""
+    tids: Dict[str, int] = {}
+
+    def tid_of(node: str) -> int:
+        if node not in tids:
+            tids[node] = len(tids)
+        return tids[node]
+
+    events: List[Dict] = []
+    for event in log:
+        entry = {
+            "name": event.name,
+            "cat": event.category,
+            "pid": _PID,
+            "tid": tid_of(event.node),
+            "ts": event.ts * _US,
+            "ph": event.phase,
+        }
+        if event.phase == PHASE_SPAN:
+            entry["dur"] = event.dur * _US
+            if event.attrs:
+                entry["args"] = dict(event.attrs)
+        elif event.phase == PHASE_COUNTER:
+            # Counter tracks plot their args values over time.
+            entry["args"] = {event.name: event.attrs.get("value", 0.0)}
+        else:
+            entry["s"] = "t"   # thread-scoped instant
+            if event.attrs:
+                entry["args"] = dict(event.attrs)
+        events.append(entry)
+    metadata: List[Dict] = [{
+        "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+        "args": {"name": "repro simulation"},
+    }]
+    for node, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        metadata.append({
+            "name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+            "args": {"name": node or "cluster"},
+        })
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(log: TraceLog, path: str) -> None:
+    """Write ``log`` to ``path`` as Chrome trace-event JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(log), handle)
+
+
+def write_jsonl(log: TraceLog, path: str) -> None:
+    """Write ``log`` to ``path`` as one JSON object per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in log:
+            handle.write(json.dumps(_event_dict(event)) + "\n")
+
+
+def write_csv(log: TraceLog, path: str) -> None:
+    """Write ``log`` to ``path`` as CSV (attrs JSON-encoded in one column)."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(("ts", "dur", "phase", "category", "name", "node",
+                         "attrs"))
+        for event in log:
+            writer.writerow((repr(event.ts), repr(event.dur), event.phase,
+                             event.category, event.name, event.node,
+                             json.dumps(event.attrs)))
+
+
+def _event_dict(event: TraceEvent) -> Dict:
+    return {"ts": event.ts, "dur": event.dur, "phase": event.phase,
+            "category": event.category, "name": event.name,
+            "node": event.node, "attrs": dict(event.attrs)}

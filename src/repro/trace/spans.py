@@ -1,0 +1,135 @@
+"""The :class:`Tracer`: the write-side API the simulated layers call.
+
+A tracer owns (or shares) a :class:`~repro.trace.events.TraceLog` and
+stamps every emission with the simulated clock of the
+:class:`~repro.sim.Simulation` it is bound to.  Binding happens when the
+tracer is passed as ``Simulation(trace=...)``; every layer living inside
+that simulation then reaches the tracer as ``sim.trace`` — instrumented
+code guards with ``if sim.trace is not None`` so a run without tracing
+pays nothing beyond that None-check.
+
+Spans may be emitted two ways:
+
+* ``tracer.complete(name, start)`` — record a span retroactively from a
+  start time the caller noted; the cheapest form, used on hot paths
+  which already track start times for their own statistics.
+* ``with tracer.span(name, node=...):`` — a context manager for process
+  generators; nesting is tracked per simulated process, so concurrently
+  interleaved processes do not corrupt each other's span stacks.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Optional
+
+from .events import (PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN, TraceEvent,
+                     TraceLog)
+
+
+class Tracer:
+    """Stamps and emits trace events against one simulation's clock.
+
+    Parameters
+    ----------
+    log:
+        The destination :class:`TraceLog`; a fresh unbounded one is
+        created when omitted.
+    categories, max_events:
+        Convenience pass-through to the created log (ignored when an
+        explicit ``log`` is given).
+    """
+
+    def __init__(self, log: Optional[TraceLog] = None,
+                 categories: Optional[Iterable[str]] = None,
+                 max_events: Optional[int] = None):
+        self.log = log if log is not None else TraceLog(
+            max_events=max_events, categories=categories)
+        self._sim = None
+        self._next_id = 0
+        # Per-process span stacks: active-process id -> [span ids].
+        self._stacks: Dict[int, list] = {}
+
+    # -- binding ---------------------------------------------------------
+
+    def bind(self, sim) -> None:
+        """Attach to ``sim``'s clock (done by ``Simulation(trace=...)``)."""
+        if self._sim is not None and self._sim is not sim:
+            raise RuntimeError("tracer is already bound to another simulation")
+        self._sim = sim
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (0.0 while unbound)."""
+        return self._sim.now if self._sim is not None else 0.0
+
+    def next_id(self) -> int:
+        """A fresh tracer-unique integer id (for correlating spans)."""
+        self._next_id += 1
+        return self._next_id
+
+    def enabled_for(self, category: str) -> bool:
+        """True when the log would keep events of ``category``."""
+        return self.log.accepts(category)
+
+    # -- emission --------------------------------------------------------
+
+    def instant(self, name: str, category: str = "event", node: str = "",
+                **attrs: Any) -> None:
+        """Emit a point-in-time marker at the current clock."""
+        self.log.append(TraceEvent(
+            ts=self.now, category=category, name=name, node=node,
+            attrs=attrs, phase=PHASE_INSTANT))
+
+    def counter(self, name: str, value: float, category: str = "counter",
+                node: str = "", **attrs: Any) -> None:
+        """Emit one sample of a numeric counter/gauge."""
+        attrs["value"] = value
+        self.log.append(TraceEvent(
+            ts=self.now, category=category, name=name, node=node,
+            attrs=attrs, phase=PHASE_COUNTER))
+
+    def complete(self, name: str, start: float, category: str = "span",
+                 node: str = "", **attrs: Any) -> None:
+        """Emit a span that began at ``start`` and ends now."""
+        now = self.now
+        if start > now:
+            raise ValueError(f"span start {start} lies in the future "
+                             f"(now={now})")
+        self.log.append(TraceEvent(
+            ts=start, category=category, name=name, node=node,
+            attrs=attrs, phase=PHASE_SPAN, dur=now - start))
+
+    @contextmanager
+    def span(self, name: str, category: str = "span", node: str = "",
+             **attrs: Any):
+        """Context manager emitting a complete span around its body.
+
+        Usable inside process generators around ``yield from`` blocks::
+
+            with tracer.span("shuffle", node=node):
+                yield from self._shuffle(...)
+
+        Nesting depth and parentage are tracked per simulated process
+        (keyed on the simulation's active process), so interleaved
+        processes keep independent stacks.  Yields the span id.
+        """
+        start = self.now
+        key = 0
+        if self._sim is not None and self._sim.active_process is not None:
+            key = id(self._sim.active_process)
+        stack = self._stacks.setdefault(key, [])
+        span_id = self.next_id()
+        parent = stack[-1] if stack else 0
+        stack.append(span_id)
+        try:
+            yield span_id
+        finally:
+            stack.pop()
+            if not stack:
+                self._stacks.pop(key, None)
+            attrs["span_id"] = span_id
+            attrs["depth"] = len(stack)
+            if parent:
+                attrs["parent"] = parent
+            self.complete(name, start, category=category, node=node, **attrs)

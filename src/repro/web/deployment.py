@@ -28,13 +28,14 @@ class WebServiceDeployment:
                  workload: Optional[P.WebWorkload] = None,
                  seed: int = 20160901,
                  edison_spec: Optional[ServerSpec] = None,
-                 limits: Optional[P.ConnectionLimits] = None):
+                 limits: Optional[P.ConnectionLimits] = None,
+                 trace=None):
         if platform not in P.COSTS:
             raise ValueError(f"unknown platform {platform!r}")
         self.platform = platform
         self.scale = scale
         self.workload = workload if workload is not None else P.WebWorkload()
-        self.sim = Simulation()
+        self.sim = Simulation(trace=trace)
         self.rng = RngStreams(seed)
         kwargs = {}
         if edison_spec is not None:
@@ -153,15 +154,20 @@ class DelayDecomposition:
 
 def measure_delay_decomposition(platform: str, request_rate: float,
                                 duration: float = 4.0, warmup: float = 1.0,
-                                seed: int = 20160901) -> DelayDecomposition:
+                                seed: int = 20160901,
+                                trace=None) -> DelayDecomposition:
     """Reproduce one row of Table 7 (20 % images, 93 % hit ratio).
 
     Offered load is fixed at ``request_rate`` with the paper's mix; the
     decomposition averages the web-server-side logs, counting database
-    delay only over cache-miss requests as the paper does.
+    delay only over cache-miss requests as the paper does.  Passing a
+    :class:`repro.trace.Tracer` records the run, from whose spans
+    :func:`repro.trace.delay_decomposition_from_trace` re-derives this
+    same decomposition (the trace-as-oracle cross-check).
     """
     workload = P.WebWorkload(image_fraction=0.20, cache_hit_ratio=0.93)
-    deployment = WebServiceDeployment(platform, "full", workload, seed=seed)
+    deployment = WebServiceDeployment(platform, "full", workload, seed=seed,
+                                      trace=trace)
     calls = 13
     concurrency = max(1, round(request_rate / calls))
     deployment.run_level(concurrency, duration=duration, warmup=warmup,

@@ -113,6 +113,10 @@ class HttperfDriver:
             self._count_syn_retry()
         yield self.sim.timeout(self.topology.rtt(client, web.server.name))
         connect_delay = self.sim.now - start
+        if self.sim.trace is not None:
+            self.sim.trace.complete("connect", start, category="web",
+                                    node=web.server.name, client=client,
+                                    syn_retries=attempt)
         self._count_connection()
         try:
             for i in range(calls):

@@ -169,6 +169,8 @@ class WebServerNode:
         log when logging is enabled.
         """
         record = CallRecord(start=self.sim.now)
+        trace = self.sim.trace
+        rid = trace.next_id() if trace is not None else 0
         if self.active_calls >= self.limits.call_queue_limit:
             # Thread/FD exhaustion: answer 500 cheaply (Figures 4-6's
             # "server error beyond the concurrency cliff").
@@ -178,6 +180,9 @@ class WebServerNode:
             yield from self.topology.message(
                 self.server.name, client_name, P.ERROR_REPLY_BYTES)
             record.total_s = self.sim.now - record.start
+            if trace is not None:
+                trace.complete("request", record.start, category="web",
+                               node=self.server.name, req=rid, status=500)
             self._log(record)
             return record
         self.active_calls += 1
@@ -202,6 +207,9 @@ class WebServerNode:
                     cache.server.name, self.server.name, content)
             yield from self.server.cpu.execute(self.costs.cache_client_mi)
             record.cache_s = self.sim.now - cache_start
+            if trace is not None:
+                trace.complete("cache", cache_start, category="web",
+                               node=cache.server.name, req=rid, hit=hit)
             if not hit:
                 db_start = self.sim.now
                 db = self.rng.choice(self.db_nodes)
@@ -212,12 +220,19 @@ class WebServerNode:
                     db.server.name, self.server.name, content)
                 yield from self.server.cpu.execute(self.costs.db_client_mi)
                 record.db_s = self.sim.now - db_start
+                if trace is not None:
+                    trace.complete("db", db_start, category="web",
+                                   node=db.server.name, req=rid)
             assemble_mi = (0.6 * self.costs.request_base_mi
                            + self.costs.per_reply_kb_mi * content / 1000.0)
             yield from self.server.cpu.execute(work_factor * assemble_mi)
             yield from self.topology.message(
                 self.server.name, client_name, content)
             record.total_s = self.sim.now - record.start
+            if trace is not None:
+                trace.complete("request", record.start, category="web",
+                               node=self.server.name, req=rid,
+                               status=record.status)
             self._log(record)
             return record
         finally:

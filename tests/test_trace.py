@@ -1,0 +1,337 @@
+"""Tests for repro.trace: events, spans, metrics, exporters, oracle."""
+
+import json
+import random
+
+import pytest
+
+from repro.cluster import hadoop_cluster
+from repro.mapreduce import JOB_FACTORIES, run_job
+from repro.mapreduce.config import default_config
+from repro.mapreduce.yarn import YarnScheduler
+from repro.sim import Simulation, TimeSeries, periodic_sampler
+from repro.trace import (Counter, Gauge, Histogram, MetricsRegistry,
+                         PHASE_SPAN, TraceEvent, TraceLog, Tracer,
+                         delay_decomposition_from_trace, span_time_by_name,
+                         to_chrome_trace, write_chrome_trace, write_csv,
+                         write_jsonl)
+from repro.web import WebServiceDeployment, measure_delay_decomposition
+
+
+# -- TraceLog -----------------------------------------------------------------
+
+def test_log_category_filtering():
+    log = TraceLog(categories={"web"})
+    assert log.append(TraceEvent(ts=0.0, category="web", name="a"))
+    assert not log.append(TraceEvent(ts=1.0, category="resource", name="b"))
+    assert len(log) == 1
+    assert log.filtered == 1
+    assert log.accepts("web") and not log.accepts("resource")
+
+
+def test_log_ring_buffer_bounds_memory():
+    log = TraceLog(max_events=100)
+    for i in range(250):
+        log.append(TraceEvent(ts=float(i), category="c", name="e"))
+    assert len(log) == 100
+    assert log.accepted == 250
+    assert log.evicted == 150
+    # The ring keeps the most recent events.
+    assert [e.ts for e in log] == [float(i) for i in range(150, 250)]
+
+
+def test_log_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        TraceLog(max_events=0)
+    with pytest.raises(ValueError):
+        TraceEvent(ts=-1.0, category="c", name="e")
+    with pytest.raises(ValueError):
+        TraceEvent(ts=0.0, category="c", name="e", phase="Z")
+
+
+# -- Tracer & spans -----------------------------------------------------------
+
+def test_span_nesting_and_ordering():
+    tracer = Tracer()
+    sim = Simulation(trace=tracer)
+
+    def worker():
+        with tracer.span("outer", category="t") as outer_id:
+            yield sim.timeout(1.0)
+            with tracer.span("inner", category="t") as inner_id:
+                yield sim.timeout(2.0)
+            yield sim.timeout(1.0)
+        assert inner_id != outer_id
+
+    sim.process(worker())
+    sim.run()
+    spans = {e.name: e for e in tracer.log.spans(category="t")}
+    outer, inner = spans["outer"], spans["inner"]
+    assert outer.ts == 0.0 and outer.dur == pytest.approx(4.0)
+    assert inner.ts == 1.0 and inner.dur == pytest.approx(2.0)
+    # Nesting is recorded: the inner span points at the outer one.
+    assert inner.attrs["parent"] == outer.attrs["span_id"]
+    assert inner.attrs["depth"] == 1 and outer.attrs["depth"] == 0
+    # Containment: the inner span lies inside the outer interval.
+    assert outer.ts <= inner.ts and inner.end <= outer.end
+
+
+def test_span_stacks_are_per_process():
+    tracer = Tracer()
+    sim = Simulation(trace=tracer)
+
+    def worker(name, delay):
+        with tracer.span(name, category="t"):
+            yield sim.timeout(delay)
+
+    sim.process(worker("a", 3.0))
+    sim.process(worker("b", 1.0))
+    sim.run()
+    spans = {e.name: e for e in tracer.log.spans(category="t")}
+    # Interleaved processes must not become each other's parents.
+    assert "parent" not in spans["a"].attrs
+    assert "parent" not in spans["b"].attrs
+
+
+def test_complete_rejects_future_start():
+    tracer = Tracer()
+    Simulation(trace=tracer)
+    with pytest.raises(ValueError):
+        tracer.complete("x", start=5.0)
+
+
+def test_kernel_emits_process_spans_and_calendar_stats():
+    tracer = Tracer()
+    sim = Simulation(trace=tracer)
+
+    def worker():
+        yield sim.timeout(2.5)
+
+    sim.process(worker(), name="w")
+    sim.run()
+    spans = tracer.log.spans(category="kernel", name="process:w")
+    assert len(spans) == 1
+    assert spans[0].dur == pytest.approx(2.5)
+    stats = tracer.log.events(category="kernel", name="calendar")
+    assert stats and stats[-1].attrs["scheduled"] >= 1
+    assert stats[-1].attrs["processed"] >= 1
+
+
+# -- metrics ------------------------------------------------------------------
+
+def test_counter_and_gauge():
+    counter, gauge = Counter("c"), Gauge("g")
+    counter.inc()
+    counter.inc(4)
+    gauge.set(3.5)
+    gauge.add(-1.0)
+    assert counter.value == 5
+    assert gauge.value == 2.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_histogram_percentile_against_brute_force():
+    rng = random.Random(42)
+    values = [rng.lognormvariate(0.0, 2.0) for _ in range(5000)]
+    hist = Histogram(growth=1.08)
+    for value in values:
+        hist.observe(value)
+    ordered = sorted(values)
+    for p in (1, 25, 50, 90, 95, 99, 100):
+        import math
+        exact = ordered[max(0, math.ceil(p / 100 * len(ordered)) - 1)]
+        estimate = hist.percentile(p)
+        # The log-bucketed estimate is within one bucket of the exact
+        # order statistic: a relative factor of at most ``growth``.
+        assert exact / 1.08 <= estimate <= exact * 1.08, (p, exact, estimate)
+
+
+def test_histogram_edges():
+    hist = Histogram()
+    with pytest.raises(ValueError):
+        hist.percentile(50)
+    hist.observe(0.0)
+    assert hist.percentile(50) == 0.0
+    with pytest.raises(ValueError):
+        hist.observe(-1.0)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_metrics_registry_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("requests").inc(7)
+    registry.gauge("depth").set(3)
+    for v in (1.0, 2.0, 3.0, 4.0):
+        registry.histogram("delay").observe(v)
+    snap = registry.snapshot(percentiles=(95.0,))
+    assert snap["requests"] == 7
+    assert snap["depth"] == 3
+    assert snap["delay"]["count"] == 4
+    assert snap["delay"]["p95"] == pytest.approx(4.0, rel=0.1)
+    assert registry.counter("requests") is registry.counter("requests")
+
+
+# -- exporters ----------------------------------------------------------------
+
+def _small_traced_run():
+    tracer = Tracer()
+    deployment = WebServiceDeployment("edison", "1/8", seed=11, trace=tracer)
+    deployment.run_level(16, duration=1.5, warmup=0.5)
+    return tracer
+
+
+def test_chrome_export_is_valid_and_consistent(tmp_path):
+    tracer = _small_traced_run()
+    path = tmp_path / "out.json"
+    write_chrome_trace(tracer.log, str(path))
+    data = json.loads(path.read_text())     # golden property: valid JSON
+    events = data["traceEvents"]
+    assert data["displayTimeUnit"] == "ms"
+    span_events = [e for e in events if e.get("ph") == "X"]
+    assert span_events
+    horizon = 1.5 * 1e6 * 1.01              # run length in us, with slack
+    for event in span_events:
+        assert set(event) >= {"name", "cat", "pid", "tid", "ts", "ph", "dur"}
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+        assert event["ts"] + event["dur"] <= horizon
+    # Every referenced tid has a thread_name metadata record.
+    named = {e["tid"] for e in events
+             if e.get("ph") == "M" and e["name"] == "thread_name"}
+    assert {e["tid"] for e in span_events} <= named
+
+
+def test_chrome_trace_covers_three_layers():
+    tracer = _small_traced_run()
+    categories = {e.category for e in tracer.log}
+    assert {"kernel", "resource", "web", "power"} <= categories
+    chrome = to_chrome_trace(tracer.log)
+    cats = {e.get("cat") for e in chrome["traceEvents"]}
+    assert {"kernel", "resource", "web", "power"} <= cats
+
+
+def test_jsonl_and_csv_exports(tmp_path):
+    log = TraceLog()
+    log.append(TraceEvent(ts=1.0, category="c", name="n", node="s0",
+                          attrs={"k": 2}, phase=PHASE_SPAN, dur=0.5))
+    jsonl = tmp_path / "out.jsonl"
+    write_jsonl(log, str(jsonl))
+    lines = jsonl.read_text().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["attrs"] == {"k": 2}
+    csv_path = tmp_path / "out.csv"
+    write_csv(log, str(csv_path))
+    rows = csv_path.read_text().splitlines()
+    assert rows[0].startswith("ts,")
+    assert len(rows) == 2
+
+
+# -- the trace as a correctness oracle ---------------------------------------
+
+def test_table7_decomposition_rederived_from_trace():
+    tracer = Tracer()
+    reported = measure_delay_decomposition("edison", 480, duration=2.0,
+                                           warmup=0.5, trace=tracer)
+    derived = delay_decomposition_from_trace(tracer.log, after=0.5)
+    assert derived.db_delay_s == pytest.approx(reported.db_delay_s,
+                                               rel=0.01)
+    assert derived.cache_delay_s == pytest.approx(reported.cache_delay_s,
+                                                  rel=0.01)
+    assert derived.total_delay_s == pytest.approx(reported.total_delay_s,
+                                                  rel=0.01)
+    assert derived.connect_delay_s > 0
+    assert derived.requests > 0
+
+
+def test_tracing_changes_no_web_numbers():
+    kwargs = dict(duration=1.5, warmup=0.5)
+    plain = WebServiceDeployment("edison", "1/8", seed=3).run_level(
+        16, **kwargs)
+    tracer = Tracer()
+    traced = WebServiceDeployment("edison", "1/8", seed=3,
+                                  trace=tracer).run_level(16, **kwargs)
+    assert len(tracer.log) > 0
+    assert traced == plain                   # bit-identical LevelResult
+
+
+def test_tracing_changes_no_job_numbers():
+    spec, config = JOB_FACTORIES["pi"]("edison", 4)
+    plain = run_job("edison", 4, spec, config=config)
+    tracer = Tracer()
+    traced = run_job("edison", 4, spec, config=config, trace=tracer)
+    assert traced.seconds == plain.seconds
+    assert traced.joules == plain.joules
+    # The traced run covers scheduler, task and power layers.
+    categories = {e.category for e in tracer.log}
+    assert {"yarn", "task", "power", "resource", "kernel"} <= categories
+    assert tracer.log.spans(category="task", name="shuffle")
+    profile = span_time_by_name(tracer.log, "task")
+    assert profile["map-attempt"] > 0
+
+
+def test_untraced_simulation_collects_no_events():
+    sim = Simulation()
+    assert sim.trace is None
+    assert sim.calendar_stats()["scheduled"] == 0
+
+
+# -- periodic sampler + tracer (satellite) ------------------------------------
+
+def test_periodic_sampler_feeds_trace_timeline():
+    tracer = Tracer()
+    sim = Simulation(trace=tracer)
+    series = TimeSeries("probe")
+    sim.process(periodic_sampler(sim, 1.0, lambda: sim.now, series,
+                                 until=3.0, tracer=tracer))
+    sim.run()
+    counters = tracer.log.counters(category="sample", name="probe")
+    assert [c.attrs["value"] for c in counters] == series.values
+    assert [c.ts for c in counters] == series.times
+
+
+# -- YARN determinism & over-release (satellites) -----------------------------
+
+def _yarn(seed=5, slaves=2):
+    sim = Simulation()
+    cluster = hadoop_cluster(sim, "edison", slaves)
+    yarn = YarnScheduler(sim, cluster.metered_servers,
+                         default_config("edison"), random.Random(seed))
+    return sim, cluster, yarn
+
+
+def test_nodemanager_over_release_raises():
+    sim, cluster, yarn = _yarn(slaves=1)
+    nm = yarn.nodes[cluster.metered_servers[0].name]
+    nm.reserve(300)
+    nm.release(300)
+    with pytest.raises(ValueError):
+        nm.release(300)                      # double release
+    with pytest.raises(ValueError):
+        nm.release(0)
+
+
+def test_yarn_double_release_of_grant_raises():
+    sim, cluster, yarn = _yarn(slaves=1)
+    grants = []
+
+    def task():
+        grant = yield from yarn.allocate(150)
+        grants.append(grant)
+
+    sim.run(until=sim.process(task()))
+    yarn.release(grants[0])
+    with pytest.raises(ValueError):
+        yarn.release(grants[0])
+
+
+def test_identical_seeds_give_identical_schedules():
+    def schedule(seed):
+        spec, config = JOB_FACTORIES["pi"]("edison", 4)
+        tracer = Tracer(categories={"yarn"})
+        run_job("edison", 4, spec, config=config, seed=seed, trace=tracer)
+        return [(e.ts, e.name, e.node, tuple(sorted(e.attrs.items())))
+                for e in tracer.log]
+
+    assert schedule(77) == schedule(77)
