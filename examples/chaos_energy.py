@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Chaos study: what one dead node costs each cluster.
+
+The reliability argument behind the paper's 35-node Edison deployment
+is that sensor-class nodes fail routinely, so losing one must be a
+marginal event.  This script kills one node on each tier and measures
+the damage against an identical fault-free run:
+
+* Web tier — one of 24 Edison web servers dies for the whole
+  measurement window: goodput drops by roughly its capacity share.
+  The same experiment on the 2-server Dell tier loses half the fleet.
+* Hadoop — one of 35 Edison slaves dies mid-wordcount: completed map
+  output is re-executed, reads fall back to surviving HDFS replicas,
+  and the job finishes at a measured time/energy overhead.
+
+Run:  python examples/chaos_energy.py              (~2 minutes)
+      python examples/chaos_energy.py --skip-dell  (Edison only)
+"""
+
+import sys
+
+from repro import job_kill_experiment, web_kill_experiment
+from repro.core.report import format_table
+
+
+def web_row(platform: str, concurrency: int):
+    result = web_kill_experiment(platform=platform, concurrency=concurrency,
+                                 duration=4.0, warmup=1.0, kill_at=0.0)
+    return (
+        platform,
+        f"{result.victims[0]} (1 of {result.web_servers})",
+        f"{result.baseline.ok_calls}",
+        f"{result.faulted.ok_calls}",
+        f"{result.goodput_loss_fraction * 100:.1f} %",
+        f"{result.expected_loss_fraction * 100:.1f} %",
+        f"{result.energy_per_call_overhead * 100:+.1f} %",
+    ), result
+
+
+def main() -> None:
+    platforms = ["edison"]
+    if "--skip-dell" not in sys.argv[1:]:
+        platforms.append("dell")
+
+    rows = []
+    for platform in platforms:
+        # 2048 concurrent sessions saturate both tiers, so goodput
+        # tracks surviving capacity: ~1/24 lost on Edison, half on Dell.
+        row, result = web_row(platform, 2048)
+        rows.append(row)
+    print(format_table(
+        ("platform", "victim", "ok calls", "under fault", "goodput lost",
+         "capacity share", "J/call"),
+        rows, title="Web tier: kill one server for the whole window"))
+    print()
+
+    # 150 s is late enough that the victim holds completed map output,
+    # so the kill forces re-execution, not just task retries.
+    job = job_kill_experiment("wordcount", "edison", 35, kill_at=150.0)
+    status = "completed" if job.completed else "FAILED"
+    print(f"wordcount, 35 Edison slaves, {job.victims[0]} killed at 150 s: "
+          f"{status}")
+    print(f"  fault-free:      {job.baseline.seconds:8.1f} s  "
+          f"{job.baseline.joules:10.0f} J")
+    if job.faulted is not None:
+        print(f"  one slave down:  {job.faulted.seconds:8.1f} s  "
+              f"{job.faulted.joules:10.0f} J")
+        print(f"  overhead:        {job.time_overhead_fraction * 100:+7.1f} %  "
+              f"{job.energy_overhead_fraction * 100:+9.1f} %")
+    print(f"  map outputs lost and re-executed: {job.recovered_maps}")
+    for line in job.availability.lines():
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

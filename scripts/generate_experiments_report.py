@@ -12,6 +12,7 @@ import time
 
 from repro.cluster import Cluster
 from repro.core import paperdata as paper
+from repro.faults import job_kill_experiment, web_kill_experiment
 from repro.hardware import DELL_R620, EDISON, make_server
 from repro.core.capacity import replacement_estimate
 from repro.mapreduce import TABLE8_JOBS, run_scaling_grid
@@ -172,6 +173,51 @@ holds it to within 1 % of the call-log numbers, and asserts traced and
 untraced runs produce bit-identical results.''')
 
 
+def section_faults(lines):
+    lines.append("\n## Reliability & fault injection\n")
+    lines.append('''The paper's Section 5.2 chose HDFS replication 2 on the 35-node
+Edison cluster because sensor-class nodes drop out routinely; the
+implicit claim is that losing one node is a *marginal* event.
+`repro.faults` makes that claim measurable: a seeded fault plan kills
+nodes, cuts their power, degrades NICs or fails disks mid-run, the
+YARN/HDFS/web layers detect and recover, and the chaos runs below
+compare against bit-identical fault-free twins (an attached injector
+with an empty plan changes nothing — asserted by tests, like tracing).
+
+```bash
+python -m repro chaos web --platform edison --concurrency 2048
+python -m repro chaos job wordcount --platform edison --slaves 35 --kill-at 150
+python -m repro web --platform edison --fault-plan plan.json
+```
+''')
+    lines.append("| experiment | measured |")
+    lines.append("|---|---|")
+    web = web_kill_experiment(concurrency=2048, duration=4.0, warmup=1.0,
+                              kill_at=0.0)
+    dell = web_kill_experiment(platform="dell", concurrency=2048,
+                               duration=4.0, warmup=1.0, kill_at=0.0)
+    job = job_kill_experiment("wordcount", "edison", 35, kill_at=150.0)
+    lines.append(f"| kill 1 of {web.web_servers} Edison web servers: "
+                 f"goodput lost | {web.goodput_loss_fraction * 100:.1f} % "
+                 f"(capacity share {web.expected_loss_fraction * 100:.1f} %)"
+                 f" |")
+    lines.append(f"| kill 1 of {dell.web_servers} Dell web servers: "
+                 f"goodput lost | {dell.goodput_loss_fraction * 100:.1f} % |")
+    status = "completes" if job.completed else "fails"
+    lines.append(f"| kill 1 of 35 Hadoop slaves at 150 s: wordcount | "
+                 f"{status}, +{job.time_overhead_fraction * 100:.0f} % time, "
+                 f"+{job.energy_overhead_fraction * 100:.0f} % energy |")
+    lines.append(f"| map outputs lost and re-executed | "
+                 f"{job.recovered_maps} |")
+    lines.append('''
+The contrast is the reliability argument in one table: at saturation
+the 24-server Edison web tier sheds ~1/24 of its goodput when a node
+dies — close to the 1/35 marginal-node share — while the 2-server
+Dell tier loses half its capacity.  The killed Hadoop slave costs a
+re-execution and replica-fallback overhead, not the job; a job fails
+cleanly only when *every* replica of a block is gone.''')
+
+
 def section6(lines):
     lines += header("Section 6 — TCO (Table 10)")
     results = table10()
@@ -223,6 +269,7 @@ def main() -> None:
     section51(lines)
     section52(lines)
     section_tracing(lines)
+    section_faults(lines)
     section6(lines)
     lines.append(f"\n*(regenerated in {time.time() - start:.0f} s of "
                  f"wall-clock simulation)*")

@@ -22,6 +22,8 @@ from .cluster import Cluster, dell_cluster, edison_cluster, hadoop_cluster, \
     web_cluster
 from .core import paperdata
 from .energy import EnergyReport, PowerMeter, work_done_per_joule
+from .faults import FaultInjector, FaultPlan, job_kill_experiment, \
+    single_node_kill, web_kill_experiment
 from .hardware import DELL_R620, EDISON, EDISON_INTEGRATED_NIC, Server, \
     ServerSpec, make_server
 from .mapreduce import JOB_FACTORIES, TABLE8_JOBS, JobReport, JobRunner, \
@@ -37,12 +39,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Cluster", "DELL_R620", "EDISON", "EDISON_INTEGRATED_NIC",
-    "EnergyReport", "JOB_FACTORIES", "JobReport", "JobRunner", "JobSpec",
+    "EnergyReport", "FaultInjector", "FaultPlan", "JOB_FACTORIES",
+    "JobReport", "JobRunner", "JobSpec",
     "PowerMeter", "Server", "ServerSpec", "Simulation", "TABLE8_JOBS",
     "TraceLog", "Tracer", "WebServiceDeployment", "WebWorkload",
     "cluster_tco", "delay_decomposition_from_trace", "dell_cluster",
-    "delay_distribution", "edison_cluster", "hadoop_cluster", "make_server",
+    "delay_distribution", "edison_cluster", "hadoop_cluster",
+    "job_kill_experiment", "make_server",
     "measure_delay_decomposition", "paperdata", "run_job",
-    "sweep_concurrency", "table10", "to_chrome_trace", "web_cluster",
+    "single_node_kill", "sweep_concurrency", "table10", "to_chrome_trace",
+    "web_cluster", "web_kill_experiment",
     "work_done_per_joule", "write_chrome_trace", "__version__",
 ]

@@ -24,7 +24,7 @@ from .core import paperdata as paper
 from .core.capacity import replacement_estimate
 from .core.report import format_table, paper_vs_measured
 from .hardware import DELL_R620, EDISON, make_server
-from .mapreduce import JOB_FACTORIES, TABLE8_JOBS, run_job
+from .mapreduce import JOB_FACTORIES, TABLE8_JOBS, JobRunner, run_job
 from .microbench import run_dd, run_dhrystone, run_ioping, run_iperf, \
     run_ping, run_sysbench_cpu, run_sysbench_memory
 from .sim import Simulation
@@ -32,6 +32,24 @@ from .tco import savings_fraction, table10
 from .trace import Tracer, write_chrome_trace
 from .web import WebServiceDeployment, WebWorkload, delay_distribution, \
     measure_delay_decomposition
+
+
+def _load_fault_plan(args):
+    """The FaultPlan named by ``--fault-plan``, or None."""
+    path = getattr(args, "fault_plan", None)
+    if not path:
+        return None
+    from .faults import FaultPlan
+    try:
+        return FaultPlan.load(path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro: error: --fault-plan: {exc}")
+
+
+def _print_fault_report(injector) -> None:
+    from .faults import AvailabilityReport
+    for line in AvailabilityReport.from_injector(injector).lines():
+        print(line)
 
 
 def _make_tracer(args):
@@ -58,11 +76,15 @@ def _cmd_web(args) -> int:
     workload = WebWorkload(image_fraction=args.images,
                            cache_hit_ratio=args.hit_ratio)
     tracer = _make_tracer(args)
+    plan = _load_fault_plan(args)
     deployment = WebServiceDeployment(args.platform, args.scale, workload,
                                       seed=args.seed, trace=tracer)
+    injector = deployment.attach_faults(plan) if plan is not None else None
     level = deployment.run_level(args.concurrency, duration=args.duration,
                                  warmup=args.duration / 3)
     _export_trace(tracer, args)
+    if injector is not None:
+        _print_fault_report(injector)
     print(format_table(
         ("metric", "value"),
         [("requests/s", f"{level.requests_per_second:.0f}"),
@@ -80,9 +102,17 @@ def _cmd_web(args) -> int:
 def _cmd_job(args) -> int:
     spec, config = JOB_FACTORIES[args.name](args.platform, args.slaves)
     tracer = _make_tracer(args)
-    report = run_job(args.platform, args.slaves, spec, config=config,
-                     seed=args.seed, trace=tracer)
+    plan = _load_fault_plan(args)
+    runner = JobRunner(args.platform, args.slaves, config=config,
+                       seed=args.seed, trace=tracer)
+    injector = None
+    if plan is not None:
+        from .faults import FaultInjector
+        injector = FaultInjector(runner.cluster, plan)
+    report = runner.run(spec)
     _export_trace(tracer, args)
+    if injector is not None:
+        _print_fault_report(injector)
     print(format_table(
         ("metric", "value"),
         [("run time (s)", f"{report.seconds:.0f}"),
@@ -95,6 +125,70 @@ def _cmd_job(args) -> int:
     if published is not None:
         print(f"paper: {published.seconds:.0f}s / {published.joules:.0f}J")
     return 0
+
+
+def _cmd_chaos_web(args) -> int:
+    from .faults import web_kill_experiment
+    plan = _load_fault_plan(args)
+    tracer = _make_tracer(args)
+    result = web_kill_experiment(
+        platform=args.platform, scale=args.scale, victim=args.victim,
+        plan=plan, concurrency=args.concurrency, duration=args.duration,
+        warmup=args.duration / 4, kill_at=args.kill_at,
+        repair_s=args.repair_after, seed=args.seed, trace=tracer)
+    _export_trace(tracer, args)
+    base, fault = result.baseline, result.faulted
+    print(format_table(
+        ("metric", "baseline", "faulted"),
+        [("requests/s", f"{base.requests_per_second:.0f}",
+          f"{fault.requests_per_second:.0f}"),
+         ("mean delay (ms)", f"{base.mean_delay_s * 1000:.1f}",
+          f"{fault.mean_delay_s * 1000:.1f}"),
+         ("5xx errors", base.error_calls, fault.error_calls),
+         ("failed connections", base.failed_connections,
+          fault.failed_connections),
+         ("cluster power (W)", f"{base.mean_power_w:.1f}",
+          f"{fault.mean_power_w:.1f}")],
+        title=f"chaos: {', '.join(result.victims)} down on "
+              f"{args.platform}/{args.scale} "
+              f"({result.web_servers} web servers)"))
+    print(f"goodput loss: {result.goodput_loss_fraction * 100:.1f}% "
+          f"(capacity-share prediction: "
+          f"{result.expected_loss_fraction * 100:.1f}%)")
+    print(f"energy per completed call: "
+          f"{result.energy_per_call_overhead * 100:+.1f}%")
+    for line in result.availability.lines():
+        print(line)
+    return 0
+
+
+def _cmd_chaos_job(args) -> int:
+    from .faults import job_kill_experiment
+    plan = _load_fault_plan(args)
+    tracer = _make_tracer(args)
+    result = job_kill_experiment(
+        job=args.name, platform=args.platform, slaves=args.slaves,
+        victim=args.victim, plan=plan, kill_at=args.kill_at,
+        repair_s=args.repair_after, seed=args.seed, trace=tracer)
+    _export_trace(tracer, args)
+    rows = [("baseline", f"{result.baseline.seconds:.0f}s / "
+                         f"{result.baseline.joules:.0f}J")]
+    if result.completed:
+        rows.append(("faulted", f"{result.faulted.seconds:.0f}s / "
+                                f"{result.faulted.joules:.0f}J"))
+        rows.append(("overhead",
+                     f"{result.time_overhead_fraction * 100:+.1f}% time, "
+                     f"{result.energy_overhead_fraction * 100:+.1f}% energy"))
+    else:
+        rows.append(("faulted", "JOB FAILED (all replicas lost)"))
+    rows.append(("maps re-executed", result.recovered_maps))
+    print(format_table(
+        ("run", "result"), rows,
+        title=f"chaos: {args.name}, {', '.join(result.victims)} down on "
+              f"{args.slaves} {args.platform} slaves"))
+    for line in result.availability.lines():
+        print(line)
+    return 0 if result.completed else 1
 
 
 def _cmd_table2(args) -> int:
@@ -232,6 +326,9 @@ def build_parser() -> argparse.ArgumentParser:
     web.add_argument("--trace", metavar="PATH",
                      help="write a Chrome/Perfetto trace of the run "
                           "to PATH")
+    web.add_argument("--fault-plan", metavar="FILE",
+                     help="inject the faults in this JSON plan "
+                          "(see repro.faults.FaultPlan)")
     web.set_defaults(func=_cmd_web)
 
     job = sub.add_parser("job", help="run one MapReduce job")
@@ -242,7 +339,54 @@ def build_parser() -> argparse.ArgumentParser:
     job.add_argument("--trace", metavar="PATH",
                      help="write a Chrome/Perfetto trace of the run "
                           "to PATH")
+    job.add_argument("--fault-plan", metavar="FILE",
+                     help="inject the faults in this JSON plan "
+                          "(see repro.faults.FaultPlan)")
     job.set_defaults(func=_cmd_job)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection experiments (kill nodes mid-run)")
+    chaos_sub = chaos.add_subparsers(dest="mode", required=True)
+    cweb = chaos_sub.add_parser(
+        "web", help="kill a web server mid-measurement vs a clean run")
+    cweb.add_argument("--platform", choices=("edison", "dell"),
+                      default="edison")
+    cweb.add_argument("--scale", default="full",
+                      choices=("full", "1/2", "1/4", "1/8"))
+    cweb.add_argument("--concurrency", type=int, default=512)
+    cweb.add_argument("--duration", type=float, default=6.0)
+    cweb.add_argument("--victim", metavar="NODE",
+                      help="server to kill (default: web-0)")
+    cweb.add_argument("--kill-at", type=float, default=1.5,
+                      help="crash onset time in seconds "
+                           "(default: %(default)s)")
+    cweb.add_argument("--repair-after", type=float, default=None,
+                      help="repair delay in seconds (default: never)")
+    cweb.add_argument("--fault-plan", metavar="FILE",
+                      help="run this JSON plan instead of a single kill")
+    cweb.add_argument("--trace", metavar="PATH",
+                      help="write a Chrome/Perfetto trace of the faulted "
+                           "run to PATH")
+    cweb.set_defaults(func=_cmd_chaos_web)
+    cjob = chaos_sub.add_parser(
+        "job", help="kill a Hadoop slave mid-job vs a clean run")
+    cjob.add_argument("name", choices=sorted(JOB_FACTORIES))
+    cjob.add_argument("--platform", choices=("edison", "dell"),
+                      default="edison")
+    cjob.add_argument("--slaves", type=int, default=35)
+    cjob.add_argument("--victim", metavar="NODE",
+                      help="slave to kill (default: the first slave)")
+    cjob.add_argument("--kill-at", type=float, default=30.0,
+                      help="crash onset time in seconds "
+                           "(default: %(default)s)")
+    cjob.add_argument("--repair-after", type=float, default=None,
+                      help="repair delay in seconds (default: never)")
+    cjob.add_argument("--fault-plan", metavar="FILE",
+                      help="run this JSON plan instead of a single kill")
+    cjob.add_argument("--trace", metavar="PATH",
+                      help="write a Chrome/Perfetto trace of the faulted "
+                           "run to PATH")
+    cjob.set_defaults(func=_cmd_chaos_job)
 
     sub.add_parser("table2", help="capacity estimate") \
         .set_defaults(func=_cmd_table2)

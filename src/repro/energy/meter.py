@@ -52,9 +52,15 @@ class PowerMeter:
         """Take one reading now; returns the summed watts."""
         totals = {key: 0.0 for key in self.per_component}
         watts = 0.0
+        faults = self.sim.faults
         for server in self.servers:
             utilization = server.utilization_window()
-            watts += server.spec.power.power(utilization)
+            if faults is not None:
+                # Crashed nodes draw idle power, unpowered ones nothing
+                # (identical to the plain formula while the node is up).
+                watts += faults.node_watts(server, utilization)
+            else:
+                watts += server.spec.power.power(utilization)
             for key in totals:
                 totals[key] += utilization.get(key, 0.0)
         self.series.record(self.sim.now, watts)

@@ -1,0 +1,39 @@
+"""Cluster-wide fault injection, failure detection and recovery.
+
+The subsystem has three parts, mirroring how chaos tooling is layered on
+a real cluster:
+
+* :mod:`repro.faults.models` — *what* can go wrong: node crashes,
+  power events, NIC degradation, disk stalls and disk failures, each
+  either scheduled one-shot or drawn from a seeded exponential
+  MTBF/MTTR process, validated up front.
+* :mod:`repro.faults.injector` — *making* it go wrong: a
+  :class:`FaultInjector` attached to a cluster runs each fault as a
+  simulation process, interrupts the victim's active work through the
+  kernel's :class:`~repro.sim.Interrupt`, flips node state that the
+  YARN/HDFS/web layers consult, and restores everything on repair.
+* :mod:`repro.faults.report` — *accounting* for it: availability,
+  MTTR, goodput-vs-offered-load and energy-overhead summaries, plus
+  the headline kill-one-node experiments of the paper's reliability
+  argument (replication 2-of-35 Edisons vs 1-of-2 Dells).
+
+An attached injector whose plan is empty leaves every run bit-identical
+to an unattached run — the same hard guarantee `repro.trace` makes, and
+tested the same way.
+"""
+
+from .models import (Fault, FaultCause, FaultPlan, RecurringFault,
+                     disk_failure, disk_stall, nic_degrade, node_crash,
+                     power_event, single_node_kill)
+from .injector import FaultInjector, FaultRecord
+from .report import (AvailabilityReport, JobChaosResult, WebChaosResult,
+                     job_kill_experiment, web_kill_experiment)
+
+__all__ = [
+    "Fault", "FaultCause", "FaultPlan", "RecurringFault",
+    "node_crash", "power_event", "nic_degrade", "disk_stall",
+    "disk_failure", "single_node_kill",
+    "FaultInjector", "FaultRecord",
+    "AvailabilityReport", "WebChaosResult", "JobChaosResult",
+    "web_kill_experiment", "job_kill_experiment",
+]

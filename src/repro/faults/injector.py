@@ -1,0 +1,316 @@
+"""The fault injector: runs a :class:`FaultPlan` against a live cluster.
+
+A :class:`FaultInjector` attaches to a cluster's simulation as
+``sim.faults`` (the same pattern as ``sim.trace``) and spawns one
+simulation process per planned fault.  Crashing a node interrupts every
+process bound to it through the kernel's
+:class:`~repro.sim.Interrupt` (with a :class:`FaultCause` attached),
+flips the node's status so YARN, HDFS, the web load balancer and the
+power meter all see it down, and restores everything on repair.
+
+The hard guarantee: an injector holding an *empty* plan spawns **zero**
+processes and every status query is a pure flag lookup, so an attached
+empty injector leaves runs bit-identical — no extra events on the
+calendar, no extra RNG draws, no perturbed heap tie-breaks.  The
+no-fault invariance tests in ``tests/test_faults.py`` hold this the
+same way ``tests/test_trace.py`` holds it for tracing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..sim import RngStreams
+from .models import Fault, FaultCause, FaultPlan
+
+#: Listener signature: ``fn(event, node, kind)`` with event "down"/"up".
+FaultListener = Callable[[str, str, str], None]
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault occurrence, for the availability report."""
+
+    kind: str
+    node: str
+    start: float
+    #: Repair time; ``None`` while the outage is open (or permanent).
+    end: Optional[float] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+
+class _NodeStatus:
+    """Mutable per-node fault state (tokens allow overlapping faults)."""
+
+    __slots__ = ("down_tokens", "unpowered_tokens", "down_since",
+                 "last_down_at", "downtime_s", "disk_failed")
+
+    def __init__(self):
+        self.down_tokens = 0
+        self.unpowered_tokens = 0
+        self.down_since: Optional[float] = None
+        self.last_down_at = -math.inf
+        self.downtime_s = 0.0
+        self.disk_failed = False
+
+    @property
+    def up(self) -> bool:
+        return self.down_tokens == 0
+
+
+class FaultInjector:
+    """Executes a fault plan; the cluster layers consult it for status."""
+
+    def __init__(self, cluster, plan: Optional[FaultPlan] = None,
+                 seed: int = 16180339, detection_s: float = 0.25):
+        """Attach to ``cluster`` and schedule every fault in ``plan``.
+
+        ``detection_s`` is how long a crash stays invisible to health
+        checks (:meth:`detected_down`) — the web tier's load balancer
+        keeps dispatching to a dead node for that long, exactly as a
+        real health-check interval would.
+        """
+        if detection_s < 0:
+            raise ValueError("detection_s must be >= 0")
+        sim = cluster.sim
+        if sim.faults is not None:
+            raise RuntimeError("this simulation already has a FaultInjector")
+        self.plan = plan if plan is not None else FaultPlan.empty()
+        self.plan.check_against(cluster.servers)
+        self.cluster = cluster
+        self.sim = sim
+        self.detection_s = detection_s
+        self.status: Dict[str, _NodeStatus] = {
+            name: _NodeStatus() for name in cluster.servers}
+        # Insertion-ordered (dict, not set): victims are interrupted in
+        # bind order, keeping chaos runs deterministic per seed.
+        self._bound: Dict[str, Dict] = {name: {} for name in
+                                        cluster.servers}
+        self._listeners: List[FaultListener] = []
+        self._nic_base: Dict[str, tuple] = {}
+        self._nic_factors: Dict[str, List[float]] = {}
+        self._stall_factors: Dict[str, List[float]] = {}
+        self.records: List[FaultRecord] = []
+        self._rng = RngStreams(seed)
+        sim.faults = self
+        for i, fault in enumerate(self.plan.faults):
+            sim.process(self._run_fault(fault), name=f"fault-{i}")
+        for i, rec in enumerate(self.plan.recurring):
+            sim.process(self._run_recurring(
+                rec, self._rng.stream(f"recurring-{i}")),
+                name=f"fault-rec-{i}")
+
+    # -- status queries (pure lookups; safe on every hot path) -----------
+
+    def is_up(self, node: str) -> bool:
+        """True unless the node is currently crashed or unpowered."""
+        status = self.status.get(node)
+        return status is None or status.up
+
+    def detected_down(self, node: str) -> bool:
+        """True once a crash has been down longer than ``detection_s``."""
+        status = self.status.get(node)
+        if status is None or status.up:
+            return False
+        return self.sim.now >= status.down_since + self.detection_s
+
+    def went_down_since(self, node: str, t: float) -> bool:
+        """Did the node start an outage at or after time ``t``?
+
+        Used by shuffle fetch verification: data read from a node that
+        died during the transfer window is suspect even if the node has
+        already rebooted (its map outputs are gone either way).
+        """
+        status = self.status.get(node)
+        return status is not None and status.last_down_at >= t
+
+    def disk_failed(self, node: str) -> bool:
+        status = self.status.get(node)
+        return status is not None and status.disk_failed
+
+    def node_watts(self, server, utilization) -> float:
+        """Wall power of ``server`` right now, fault state included.
+
+        Crashed nodes draw idle power (the paper's meters would keep
+        counting a hung Edison), unpowered nodes draw nothing — keeping
+        work-done-per-joule honest under faults.
+        """
+        status = self.status.get(server.name)
+        if status is None or status.up:
+            return server.spec.power.power(utilization)
+        if status.unpowered_tokens > 0:
+            return 0.0
+        return server.spec.power.min_w
+
+    # -- bindings and listeners ------------------------------------------
+
+    def bind(self, node: str, process) -> None:
+        """Register a process to be interrupted if ``node`` crashes.
+
+        A process binds *itself* before running work on a node, so the
+        injector cannot interrupt here even when the node is already
+        down (the kernel forbids self-interruption mid-execution);
+        callers must check :meth:`is_up` after binding and bail out —
+        that is what dispatching work to a dead machine earns you.
+        """
+        bound = self._bound.get(node)
+        if bound is not None:
+            bound[process] = None
+
+    def unbind(self, node: str, process) -> None:
+        bound = self._bound.get(node)
+        if bound is not None:
+            bound.pop(process, None)
+
+    def add_listener(self, listener: FaultListener) -> None:
+        """Call ``listener(event, node, kind)`` on every down/up edge."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    # -- availability accounting -----------------------------------------
+
+    def downtime(self, node: str, until: Optional[float] = None) -> float:
+        """Seconds ``node`` has been out of service so far."""
+        until = self.sim.now if until is None else until
+        status = self.status.get(node)
+        if status is None:
+            return 0.0
+        open_s = (until - status.down_since
+                  if status.down_since is not None else 0.0)
+        return status.downtime_s + max(0.0, open_s)
+
+    def mean_availability(self, until: Optional[float] = None,
+                          nodes: Optional[List[str]] = None) -> float:
+        """Up node-seconds over total node-seconds across ``nodes``."""
+        until = self.sim.now if until is None else until
+        names = list(nodes) if nodes is not None else list(self.status)
+        if until <= 0 or not names:
+            return 1.0
+        lost = sum(self.downtime(n, until) for n in names)
+        return 1.0 - lost / (until * len(names))
+
+    def mean_mttr(self) -> Optional[float]:
+        """Mean duration of completed outages (None if none completed)."""
+        repaired = [r.duration for r in self.records
+                    if r.duration is not None]
+        if not repaired:
+            return None
+        return sum(repaired) / len(repaired)
+
+    # -- fault execution --------------------------------------------------
+
+    def _run_fault(self, fault: Fault):
+        if fault.at > 0:
+            yield self.sim.timeout(fault.at)
+        yield from self._apply(fault)
+
+    def _run_recurring(self, rec, stream):
+        if rec.start > 0:
+            yield self.sim.timeout(rec.start)
+        while True:
+            yield self.sim.timeout(stream.expovariate(1.0 / rec.mtbf_s))
+            duration = stream.expovariate(1.0 / rec.mttr_s)
+            yield from self._apply(rec.make_fault(self.sim.now, duration))
+
+    def _apply(self, fault: Fault):
+        record = FaultRecord(fault.kind, fault.node, self.sim.now)
+        self.records.append(record)
+        trace = self.sim.trace
+        if trace is not None:
+            trace.instant(f"fault.{fault.kind}", category="fault",
+                          node=fault.node)
+        if fault.kind in ("crash", "power"):
+            yield from self._apply_node_down(fault, record)
+        elif fault.kind == "nic":
+            yield from self._apply_nic(fault, record)
+        elif fault.kind == "disk_stall":
+            yield from self._apply_disk_stall(fault, record)
+        elif fault.kind == "disk_fail":
+            self.status[fault.node].disk_failed = True
+            # Permanent: the record's end stays None.
+        else:  # pragma: no cover - models.py validates kinds
+            raise ValueError(f"unhandled fault kind {fault.kind!r}")
+
+    def _apply_node_down(self, fault: Fault, record: FaultRecord):
+        status = self.status[fault.node]
+        first = status.down_tokens == 0
+        status.down_tokens += 1
+        if fault.kind == "power":
+            status.unpowered_tokens += 1
+        if first:
+            status.down_since = self.sim.now
+            status.last_down_at = self.sim.now
+            # Detection/recovery layers first (blacklist, reclaim), so a
+            # victim's cleanup (e.g. releasing its YARN container) runs
+            # against a NodeManager that already knows the node is gone.
+            for listener in list(self._listeners):
+                listener("down", fault.node, fault.kind)
+            for process in list(self._bound[fault.node]):
+                if process.is_alive:
+                    process.interrupt(FaultCause(fault.kind, fault.node))
+        yield self.sim.timeout(fault.duration)
+        if fault.kind == "power":
+            # Power is back; the node reboots at idle draw before serving.
+            status.unpowered_tokens -= 1
+            if fault.reboot_s > 0:
+                yield self.sim.timeout(fault.reboot_s)
+        status.down_tokens -= 1
+        if status.down_tokens == 0:
+            status.downtime_s += self.sim.now - status.down_since
+            status.down_since = None
+            for listener in list(self._listeners):
+                listener("up", fault.node, fault.kind)
+        record.end = self.sim.now
+        if self.sim.trace is not None:
+            self.sim.trace.complete(f"fault.{fault.kind}", record.start,
+                                    category="fault", node=fault.node)
+
+    def _nic_segments(self, node: str):
+        return self.cluster.topology.nic_segments(node)
+
+    def _rescale_nic(self, node: str) -> None:
+        tx, rx = self._nic_segments(node)
+        base_tx, base_rx = self._nic_base[node]
+        factors = self._nic_factors.get(node, [])
+        scale = 1.0
+        for f in factors:
+            scale *= f
+        # Assign the exact base value back when no fault is active, so a
+        # repaired NIC is bit-identical to one never degraded.
+        tx.capacity_Bps = base_tx * scale if factors else base_tx
+        rx.capacity_Bps = base_rx * scale if factors else base_rx
+        self.cluster.topology.network.rescale()
+
+    def _apply_nic(self, fault: Fault, record: FaultRecord):
+        if fault.node not in self._nic_base:
+            tx, rx = self._nic_segments(fault.node)
+            self._nic_base[fault.node] = (tx.capacity_Bps, rx.capacity_Bps)
+        self._nic_factors.setdefault(fault.node, []).append(fault.factor)
+        self._rescale_nic(fault.node)
+        yield self.sim.timeout(fault.duration)
+        self._nic_factors[fault.node].remove(fault.factor)
+        self._rescale_nic(fault.node)
+        record.end = self.sim.now
+        if self.sim.trace is not None:
+            self.sim.trace.complete("fault.nic", record.start,
+                                    category="fault", node=fault.node,
+                                    factor=fault.factor)
+
+    def _apply_disk_stall(self, fault: Fault, record: FaultRecord):
+        server = self.cluster.servers[fault.node]
+        stalls = self._stall_factors.setdefault(fault.node, [])
+        stalls.append(fault.slowdown)
+        server.storage.slowdown = max(stalls)
+        yield self.sim.timeout(fault.duration)
+        stalls.remove(fault.slowdown)
+        server.storage.slowdown = max(stalls) if stalls else 1.0
+        record.end = self.sim.now
+        if self.sim.trace is not None:
+            self.sim.trace.complete("fault.disk_stall", record.start,
+                                    category="fault", node=fault.node,
+                                    slowdown=fault.slowdown)

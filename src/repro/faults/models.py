@@ -1,0 +1,286 @@
+"""Fault models: what can go wrong, when, and for how long.
+
+Every fault is a :class:`Fault` value — one kind, one victim node, one
+onset time and (except for permanent disk loss) one repair time.  Plans
+hold one-shot faults plus :class:`RecurringFault` generators that draw
+exponential time-between-failures / time-to-repair from a seeded stream,
+so a chaos run is as reproducible as any other simulation.  All
+validation happens at construction: a bad plan fails before the
+simulation burns any time.
+
+The kinds model the failure classes the SBC-cluster literature reports
+for sensor-class hardware (node dropouts first, then flaky NICs and SD
+cards):
+
+``crash``
+    The node halts at ``at`` and is back ``duration`` seconds later
+    (operator reboot / watchdog).  Running work on it dies; while down
+    the node still draws idle power (it sits in the bootloader or at a
+    login prompt) — the honest accounting for work-per-joule.
+``power``
+    Supply loss: like ``crash`` but the node draws *zero* watts for
+    ``duration`` seconds, then takes ``reboot_s`` at idle power before
+    serving again.
+``nic``
+    The NIC degrades to ``factor`` of line rate for ``duration``
+    seconds (flapping autonegotiation, duplex mismatch).  Nothing dies;
+    everything gets slower.
+``disk_stall``
+    Device I/O takes ``slowdown``× longer for ``duration`` seconds
+    (SD-card garbage collection, controller resets).
+``disk_fail``
+    The disk dies at ``at`` and every HDFS replica on it is lost for
+    good (no re-replication is modelled).  Reads fall back to surviving
+    replicas; a job fails cleanly only when a block has none left.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: The recognised fault kinds.
+FAULT_KINDS = ("crash", "power", "nic", "disk_stall", "disk_fail")
+
+#: Kinds that take a node out of service entirely (kill its processes).
+NODE_DOWN_KINDS = ("crash", "power")
+
+
+@dataclass(frozen=True)
+class FaultCause:
+    """Attached to the kernel ``Interrupt`` thrown into victim processes."""
+
+    kind: str
+    node: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} on {self.node}"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault on one node.  Use the constructor helpers."""
+
+    kind: str
+    node: str
+    at: float
+    #: Seconds until repair; ``inf`` means permanent (disk_fail only).
+    duration: float = math.inf
+    #: Extra idle-power reboot time after a ``power`` outage ends.
+    reboot_s: float = 0.0
+    #: Remaining fraction of NIC line rate during a ``nic`` fault.
+    factor: float = 1.0
+    #: I/O time multiplier during a ``disk_stall`` fault.
+    slowdown: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {FAULT_KINDS}")
+        if not self.node:
+            raise ValueError("a fault needs a victim node name")
+        if self.at < 0:
+            raise ValueError("fault onset time must be >= 0")
+        if self.duration <= 0:
+            raise ValueError("fault duration must be > 0")
+        if self.reboot_s < 0:
+            raise ValueError("reboot_s must be >= 0")
+        if math.isinf(self.duration) and self.kind != "disk_fail":
+            raise ValueError(f"only disk_fail may be permanent; "
+                             f"{self.kind} needs a finite duration")
+        if self.kind == "nic" and not 0 < self.factor <= 1:
+            # factor 0 would wedge in-flight store-and-forward messages
+            # whose serialisation time is already committed.
+            raise ValueError("nic factor must be in (0, 1]")
+        if self.kind == "disk_stall" and self.slowdown < 1:
+            raise ValueError("disk_stall slowdown must be >= 1")
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"kind": self.kind, "node": self.node, "at": self.at}
+        if not math.isinf(self.duration):
+            out["duration"] = self.duration
+        if self.reboot_s:
+            out["reboot_s"] = self.reboot_s
+        if self.kind == "nic":
+            out["factor"] = self.factor
+        if self.kind == "disk_stall":
+            out["slowdown"] = self.slowdown
+        return out
+
+
+def node_crash(node: str, at: float, repair_s: float) -> Fault:
+    """The node halts at ``at`` and serves again ``repair_s`` later."""
+    return Fault(kind="crash", node=node, at=at, duration=repair_s)
+
+
+def power_event(node: str, at: float, outage_s: float,
+                reboot_s: float = 30.0) -> Fault:
+    """Supply loss: 0 W for ``outage_s``, then ``reboot_s`` at idle."""
+    return Fault(kind="power", node=node, at=at, duration=outage_s,
+                 reboot_s=reboot_s)
+
+
+def nic_degrade(node: str, at: float, duration: float,
+                factor: float) -> Fault:
+    """NIC drops to ``factor`` of line rate for ``duration`` seconds."""
+    return Fault(kind="nic", node=node, at=at, duration=duration,
+                 factor=factor)
+
+
+def disk_stall(node: str, at: float, duration: float,
+               slowdown: float) -> Fault:
+    """Device I/O takes ``slowdown``× longer for ``duration`` seconds."""
+    return Fault(kind="disk_stall", node=node, at=at, duration=duration,
+                 slowdown=slowdown)
+
+
+def disk_failure(node: str, at: float) -> Fault:
+    """The disk dies at ``at``; its block replicas are lost for good."""
+    return Fault(kind="disk_fail", node=node, at=at)
+
+
+@dataclass(frozen=True)
+class RecurringFault:
+    """A seeded stochastic fault process on one node.
+
+    Time between failures is exponential with mean ``mtbf_s``; each
+    outage lasts an exponential draw with mean ``mttr_s``.  Draws come
+    from the injector's dedicated RNG stream, so two runs with the same
+    seed see the same fault history.
+    """
+
+    kind: str
+    node: str
+    mtbf_s: float
+    mttr_s: float
+    #: No fault fires before this time (let the system warm up).
+    start: float = 0.0
+    reboot_s: float = 0.0
+    factor: float = 0.5
+    slowdown: float = 10.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind == "disk_fail":
+            raise ValueError("disk_fail is permanent and cannot recur; "
+                             "schedule it as a one-shot fault")
+        if not self.node:
+            raise ValueError("a fault needs a victim node name")
+        if self.mtbf_s <= 0 or self.mttr_s <= 0:
+            raise ValueError("mtbf_s and mttr_s must be > 0")
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+        # Re-use Fault's kind-parameter validation.
+        Fault(kind=self.kind, node=self.node, at=self.start, duration=1.0,
+              reboot_s=self.reboot_s, factor=self.factor,
+              slowdown=self.slowdown)
+
+    def make_fault(self, at: float, duration: float) -> Fault:
+        """One concrete outage of this process."""
+        return Fault(kind=self.kind, node=self.node, at=at,
+                     duration=duration, reboot_s=self.reboot_s,
+                     factor=self.factor, slowdown=self.slowdown)
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"kind": self.kind, "node": self.node,
+                     "mtbf_s": self.mtbf_s, "mttr_s": self.mttr_s}
+        if self.start:
+            out["start"] = self.start
+        if self.reboot_s:
+            out["reboot_s"] = self.reboot_s
+        if self.kind == "nic":
+            out["factor"] = self.factor
+        if self.kind == "disk_stall":
+            out["slowdown"] = self.slowdown
+        return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything a chaos run will inject: one-shots plus processes."""
+
+    faults: Tuple[Fault, ...] = field(default_factory=tuple)
+    recurring: Tuple[RecurringFault, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+        object.__setattr__(self, "recurring", tuple(self.recurring))
+
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        return cls()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.faults and not self.recurring
+
+    def __len__(self) -> int:
+        return len(self.faults) + len(self.recurring)
+
+    def nodes(self) -> List[str]:
+        """Every node the plan targets (deduplicated, plan order)."""
+        seen: List[str] = []
+        for item in (*self.faults, *self.recurring):
+            if item.node not in seen:
+                seen.append(item.node)
+        return seen
+
+    def check_against(self, known_nodes: Iterable[str]) -> None:
+        """Fail fast when the plan names a node the cluster lacks."""
+        known = set(known_nodes)
+        missing = [n for n in self.nodes() if n not in known]
+        if missing:
+            raise ValueError(
+                f"fault plan targets unknown node(s) {missing}; "
+                f"cluster has {sorted(known)}")
+
+    # -- (de)serialisation for --fault-plan FILE -------------------------
+
+    def to_dict(self) -> Dict:
+        return {"faults": [f.to_dict() for f in self.faults],
+                "recurring": [r.to_dict() for r in self.recurring]}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise ValueError("fault plan must be a JSON object")
+        unknown = set(data) - {"faults", "recurring"}
+        if unknown:
+            raise ValueError(f"unknown fault-plan keys {sorted(unknown)}")
+        faults = [Fault(**item) for item in data.get("faults", ())]
+        recurring = [RecurringFault(**item)
+                     for item in data.get("recurring", ())]
+        return cls(faults=tuple(faults), recurring=tuple(recurring))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Read a plan from a JSON file (the CLI's ``--fault-plan``)."""
+        with open(path) as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+        try:
+            return cls.from_dict(data)
+        except TypeError as exc:
+            # A misspelled field name surfaces as an unexpected-kwarg
+            # TypeError from the dataclass constructor; re-raise with
+            # the file attached so the user can find it.
+            raise ValueError(f"{path}: {exc}") from exc
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+
+def single_node_kill(node: str, at: float,
+                     repair_s: Optional[float] = None) -> FaultPlan:
+    """The headline plan: kill one node, optionally bring it back."""
+    # "Never repaired" defaults to a repair beyond any realistic run,
+    # still finite because disk_fail is the only permanent kind.
+    repair = repair_s if repair_s is not None else 1e9
+    return FaultPlan(faults=(node_crash(node, at, repair),))

@@ -62,6 +62,9 @@ class Storage:
         self.channel = Resource(sim, capacity=1, name=f"{name}.channel")
         self.bytes_read = 0.0
         self.bytes_written = 0.0
+        #: Fault-injection multiplier on device time (1.0 = healthy).
+        #: Set by repro.faults during a disk_stall window.
+        self.slowdown = 1.0
 
     def io_time(self, op: str, nbytes: float, buffered: bool = False) -> float:
         """Seconds of device time for one request (latency + transfer)."""
@@ -72,7 +75,10 @@ class Storage:
     def _io(self, op: str, nbytes: float, buffered: bool):
         with self.channel.request() as grant:
             yield grant
-            yield self.sim.timeout(self.io_time(op, nbytes, buffered))
+            device_s = self.io_time(op, nbytes, buffered)
+            if self.slowdown != 1.0:   # exact no-op when healthy
+                device_s *= self.slowdown
+            yield self.sim.timeout(device_s)
         if op == "read":
             self.bytes_read += nbytes
         else:

@@ -20,6 +20,15 @@ from ..sim import Simulation
 from ..workloads import Dataset
 
 
+class BlockUnavailable(Exception):
+    """Every replica of a block is on a dead node or failed disk.
+
+    Retrying cannot help — the data is gone until the nodes return —
+    so the job runtime converts this into a clean whole-job failure
+    instead of burning its attempt budget.
+    """
+
+
 @dataclass(frozen=True)
 class HdfsBlock:
     """One block of one file."""
@@ -100,16 +109,34 @@ class Hdfs:
     def is_local(self, node: str, block: HdfsBlock) -> bool:
         return node in block.replicas
 
+    def _alive(self, name: str) -> bool:
+        faults = self.sim.faults
+        return (faults is None
+                or (faults.is_up(name) and not faults.disk_failed(name)))
+
+    def _live_replicas(self, block: HdfsBlock) -> Tuple[str, ...]:
+        """Replicas currently readable (all of them when fault-free)."""
+        if self.sim.faults is None:
+            return block.replicas
+        return tuple(r for r in block.replicas if self._alive(r))
+
     def read_block(self, node: str, block: HdfsBlock):
         """Process generator: read one block from ``node``.
 
         Local reads hit the node's own disk; remote reads stream from a
-        random replica's disk through the network (a fluid flow).
+        random replica's disk through the network (a fluid flow).  Dead
+        replicas are skipped — the reader falls back to a surviving one
+        — and :class:`BlockUnavailable` is raised when none remain.
         """
-        if self.is_local(node, block):
+        replicas = self._live_replicas(block)
+        if not replicas:
+            raise BlockUnavailable(
+                f"block {block.block_id}: all {len(block.replicas)} "
+                f"replica(s) are on dead nodes or failed disks")
+        if node in replicas:
             yield from self.datanodes[node].storage.read(block.size_bytes)
             return
-        source = self.rng.choice(block.replicas)
+        source = self.rng.choice(replicas)
         read = self.sim.process(
             self.datanodes[source].storage.read(block.size_bytes))
         flow = self.topology.network.start_flow(
@@ -121,19 +148,30 @@ class Hdfs:
 
         The first replica is the writer's own disk; each additional
         replica costs a network flow plus a remote disk write, all in
-        parallel (HDFS pipelines the stream).
+        parallel (HDFS pipelines the stream).  A writer with a failed
+        disk sends every copy remote; dead targets are skipped.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         if nbytes == 0:
             return
-        legs = [self.sim.process(
-            self.datanodes[node].storage.write(nbytes, buffered=True))]
+        legs = []
+        local_ok = self._alive(node)
+        if local_ok:
+            legs.append(self.sim.process(
+                self.datanodes[node].storage.write(nbytes, buffered=True)))
         others = [n for n in self._node_order if n != node]
+        if self.sim.faults is not None:
+            others = [n for n in others if self._alive(n)]
+        remote_copies = self.replication - 1 if local_ok else self.replication
         for target in self.rng.sample(
-                others, min(self.replication - 1, len(others))):
+                others, min(remote_copies, len(others))):
             legs.append(self.sim.process(self._remote_write(node, target,
                                                             nbytes)))
+        if not legs:
+            raise BlockUnavailable(
+                f"no live datanode can take a {nbytes:.0f}-byte write "
+                f"from {node}")
         yield self.sim.all_of(legs)
 
     def _remote_write(self, src: str, dst: str, nbytes: float):

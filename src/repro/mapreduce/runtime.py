@@ -28,11 +28,11 @@ from typing import Dict, List, Optional
 from ..cluster import Cluster, hadoop_cluster
 from ..core import paperdata as paper
 from ..hardware import ServerSpec
-from ..sim import RngStreams, Simulation, TimeSeries
+from ..sim import Interrupt, RngStreams, Simulation, TimeSeries
 from ..workloads import Dataset
 from . import costs as C
 from .config import HadoopConfig, default_config
-from .hdfs import Hdfs
+from .hdfs import BlockUnavailable, Hdfs
 from .yarn import YarnScheduler
 
 #: Concurrent fetch streams per reducer (mapreduce.reduce.shuffle.parallelcopies).
@@ -42,8 +42,20 @@ MERGE_BUFFER_FRACTION = 0.7
 
 
 #: Attempts Hadoop makes per task before failing the job
-#: (mapreduce.map.maxattempts).
+#: (mapreduce.map.maxattempts).  Attempts killed by node loss are not
+#: charged against this budget (Hadoop marks them KILLED, not FAILED).
 MAX_TASK_ATTEMPTS = 4
+
+#: Hard cap on container launches per task, counting node-loss kills —
+#: a backstop against a cluster whose nodes keep dying under the task.
+MAX_TASK_LAUNCHES = 25
+
+#: NodeManager heartbeats the ResourceManager waits before expiring a
+#: silent node: blacklisting it, reclaiming its containers and
+#: re-executing the completed maps whose output died with it.  (The
+#: Hadoop default is a 10-minute liveness window; scaled to the
+#: simulation's second-scale heartbeats.)
+NM_EXPIRY_HEARTBEATS = 2
 
 
 class TaskFailed(Exception):
@@ -71,6 +83,9 @@ class JobSpec:
     #: Probability that any single map attempt dies mid-flight (fault
     #: injection; Hadoop retries the attempt elsewhere).
     map_failure_rate: float = 0.0
+    #: Same, for reduce attempts.  Both rates draw from the job's one
+    #: ``faults`` RNG stream, so seeds stay reproducible.
+    reduce_failure_rate: float = 0.0
 
     def __post_init__(self):
         if self.map_tasks < 1 or self.reduce_tasks < 0:
@@ -79,8 +94,9 @@ class JobSpec:
             raise ValueError("container memories must be >= 1 MB")
         if self.output_ratio < 0:
             raise ValueError("output_ratio must be >= 0")
-        if not 0 <= self.map_failure_rate < 1:
-            raise ValueError("map_failure_rate must be in [0, 1)")
+        for rate_field in ("map_failure_rate", "reduce_failure_rate"):
+            if not 0 <= getattr(self, rate_field) < 1:
+                raise ValueError(f"{rate_field} must be in [0, 1)")
 
     @property
     def input_bytes(self) -> int:
@@ -168,6 +184,9 @@ class JobRunner:
                                   master=self.cluster.servers["master"])
         self.meter = self.cluster.attach_meter(interval=1.0)
         self._fault_rng = self.rng.stream("faults")
+        #: (spec, state) of the run in flight — consulted by the
+        #: fault-injector listener for node-loss recovery.
+        self._active = None
         self._reserve_daemon_memory()
 
     def _reserve_daemon_memory(self) -> None:
@@ -212,6 +231,12 @@ class JobRunner:
         """
         timeline = JobTimeline()
         state = _JobState(self.sim, spec, self.config.slowstart)
+        if self.sim.faults is not None:
+            # Wire failure detection/recovery: node loss blacklists the
+            # NodeManager, reclaims its containers and re-executes the
+            # completed maps whose output died with it.
+            self._active = (spec, state)
+            self.sim.faults.add_listener(self._on_fault_event)
         input_files = self._stage_input(spec)
         done = self.sim.process(self._job(spec, state, input_files),
                                 name=f"job-{spec.name}")
@@ -270,6 +295,42 @@ class JobRunner:
         per_node_tasks = math.ceil(tasks / len(self.slave_servers))
         return min(per_node_slots, per_node_tasks) / self.config.node_vcores
 
+    # -- failure detection and recovery -----------------------------------
+
+    def _on_fault_event(self, event: str, node: str, kind: str) -> None:
+        """Fault-injector listener: react to node down/up edges."""
+        if kind not in ("crash", "power"):
+            return
+        if event == "up":
+            self.yarn.mark_node_up(node)
+            return
+        if node not in self.yarn.nodes or self._active is None:
+            return   # the master or a non-slave; allocation just stalls
+        spec, state = self._active
+        # Completed map output lived on the node's local disk: gone.
+        # Account for it now (so shuffles stop trusting the node) and
+        # re-execute once the ResourceManager expires the NodeManager.
+        lost_files, counts = state.lose_node(node)
+        self.sim.process(
+            self._expire_and_recover(spec, state, node, lost_files, counts),
+            name=f"expire-{node}")
+
+    def _expire_and_recover(self, spec: JobSpec, state: "_JobState",
+                            node: str, lost_files: List, counts: bool):
+        """RM-side process: expire a silent NodeManager, re-run its maps."""
+        yield self.sim.timeout(NM_EXPIRY_HEARTBEATS * self.config.heartbeat_s)
+        faults = self.sim.faults
+        if faults is not None and not faults.is_up(node):
+            # Still silent after the liveness window: blacklist it.  (If
+            # it rebooted in time, its containers are gone regardless.)
+            self.yarn.mark_node_down(node)
+        for hdfs_file in lost_files:
+            self.sim.process(
+                self._map_task(spec, state, None, state.map_factor,
+                               recovery_from=node, fixed_file=hdfs_file,
+                               counts=counts),
+                name=f"remap-{node}")
+
     def _job(self, spec: JobSpec, state: "_JobState",
              input_files: List):
         map_factor = C.effective_factor(
@@ -278,6 +339,7 @@ class JobRunner:
         reduce_factor = C.effective_factor(
             spec.costs, self.platform,
             self._density(spec.reduce_mem_mb, max(1, spec.reduce_tasks)))
+        state.map_factor = map_factor
         # Application-master spin-up + job initialisation lead.
         yield self.sim.timeout(C.ALLOC_LEAD_S[self.platform])
         pool = _InputPool(input_files, self.rng.stream("am"))
@@ -298,6 +360,10 @@ class JobRunner:
                 self._reduce_task(spec, state, reduce_factor),
                 name=f"red-{i}") for i in range(early)]
         yield self.sim.all_of(maps)
+        if self.sim.faults is not None:
+            # Node loss may have re-queued completed maps; the map phase
+            # only ends once re-execution restores every lost output.
+            yield from state.wait_maps_complete(self.sim)
         state.all_maps_done.succeed()
         if spec.reduce_tasks > 0:
             reduces.extend(self.sim.process(
@@ -309,38 +375,92 @@ class JobRunner:
     # -- map side ----------------------------------------------------------
 
     def _map_task(self, spec: JobSpec, state: "_JobState",
-                  pool: "_InputPool", factor: float):
-        hdfs_file = None
-        for attempt in range(MAX_TASK_ATTEMPTS):
+                  pool: Optional["_InputPool"], factor: float,
+                  recovery_from: Optional[str] = None,
+                  fixed_file=None, counts: bool = True):
+        """One map task: allocate, attempt, retry; record its output.
+
+        With ``recovery_from`` set this is a re-execution of a map whose
+        completed output died with node ``recovery_from``; the input
+        split is ``fixed_file`` (no locality pool draw) and completion
+        settles the pending recovery instead of advancing the original
+        map counter (unless ``counts``: the phase was still open when
+        the node died, so the counter was decremented and must recover).
+        """
+        hdfs_file = fixed_file
+        faults = self.sim.faults
+        failures = 0
+        launches = 0
+        took_split = recovery_from is not None   # recoveries keep fixed_file
+        while True:
+            launches += 1
+            if launches > MAX_TASK_LAUNCHES:
+                raise JobFailed(
+                    f"{spec.name}: a map task was relaunched "
+                    f"{MAX_TASK_LAUNCHES} times without completing "
+                    f"(nodes keep failing under it)")
             # Containers are requested anonymously and the application
             # master assigns whichever pending split is local to the
             # node that answered — how Hadoop's AM achieves its ~95 %
             # data-locality, and why the paper sees it on both clusters.
             grant = yield from self.yarn.allocate(spec.map_mem_mb)
-            if attempt == 0:
+            if faults is not None and not faults.is_up(grant.node):
+                # Granted on a node that died before the NodeManager
+                # expiry window closed; give it back and re-request.
+                self.yarn.release(grant)
+                continue
+            # Draw the input split at the first grant that survives the
+            # liveness check — not the first launch: a grant churned back
+            # because its node was dead must not cost the task its split.
+            if not took_split:
+                took_split = True
                 hdfs_file, local = pool.take(grant.node)
                 if hdfs_file is not None:
                     state.placed_maps += 1
                     if local:
                         state.local_maps += 1
             attempt_start = self.sim.now
+            process = self.sim.active_process
+            if faults is not None:
+                faults.bind(grant.node, process)
             try:
                 out_bytes = yield from self._map_attempt(
                     spec, grant.node, hdfs_file, factor)
             except TaskFailed:
                 state.failed_attempts += 1
                 self._trace_attempt("map", grant.node, attempt_start,
-                                    attempt, ok=False)
+                                    launches - 1, ok=False)
+                failures += 1
+                if failures >= MAX_TASK_ATTEMPTS:
+                    raise JobFailed(
+                        f"{spec.name}: a map task died "
+                        f"{MAX_TASK_ATTEMPTS} times")
                 continue
+            except Interrupt:
+                # The node died under the attempt; the retry allocates
+                # on a surviving node and is not charged as a failure.
+                state.failed_attempts += 1
+                self._trace_attempt("map", grant.node, attempt_start,
+                                    launches - 1, ok=False, killed=True)
+                continue
+            except BlockUnavailable as exc:
+                # Every replica of an input block is gone: no retry can
+                # help, fail the whole job cleanly.
+                raise JobFailed(f"{spec.name}: {exc}") from exc
             finally:
+                if faults is not None:
+                    faults.unbind(grant.node, process)
                 self.yarn.release(grant)
             self._trace_attempt("map", grant.node, attempt_start,
-                                attempt, ok=True, out_bytes=out_bytes)
+                                launches - 1, ok=True, out_bytes=out_bytes)
             state.record_map_output(grant.node, out_bytes)
-            state.map_finished(self.sim)
+            state.completed_map(grant.node, hdfs_file)
+            if recovery_from is None:
+                state.map_finished(self.sim)
+            else:
+                state.recovery_completed(self.sim, recovery_from,
+                                         grant.node, out_bytes, counts)
             return
-        raise JobFailed(
-            f"{spec.name}: a map task died {MAX_TASK_ATTEMPTS} times")
 
     def _map_attempt(self, spec: JobSpec, node: str, hdfs_file,
                      factor: float):
@@ -372,38 +492,88 @@ class JobRunner:
     # -- reduce side ----------------------------------------------------------
 
     def _reduce_task(self, spec: JobSpec, state: "_JobState", factor: float):
-        grant = yield from self.yarn.allocate(spec.reduce_mem_mb)
-        attempt_start = self.sim.now
-        try:
-            yield from self._task_overhead(grant.node, factor)
-            # Shuffle can begin once slowstart fired (we are running), but
-            # the tail of map output only exists when all maps are done.
-            yield state.all_maps_done
-            shuffle_start = self.sim.now
-            input_bytes = yield from self._shuffle(spec, state, grant.node)
-            if self.sim.trace is not None:
-                self.sim.trace.complete("shuffle", shuffle_start,
-                                        category="task", node=grant.node,
-                                        nbytes=input_bytes)
-            buffer_bytes = spec.reduce_mem_mb * 1e6 * MERGE_BUFFER_FRACTION
-            server = self.cluster.servers[grant.node]
-            if input_bytes > buffer_bytes:
-                # On-disk merge round: spill and re-read what overflows.
-                overflow = input_bytes - buffer_bytes
-                yield from server.storage.write(overflow, buffered=True)
-                yield from server.storage.read(overflow, buffered=True)
-            yield from self._cpu(
-                grant.node,
-                spec.costs.reduce_mi_per_mb * input_bytes / 1e6 * factor)
-            out = input_bytes * spec.output_ratio
-            if out > 0:
-                yield from self.hdfs.write(grant.node, out)
-            yield self.sim.timeout(C.TASK_COMMIT_S)
-            yield from self.yarn.master_commit()
-        finally:
-            self.yarn.release(grant)
-        self._trace_attempt("reduce", grant.node, attempt_start, 0, ok=True)
-        state.reduces_done += 1
+        faults = self.sim.faults
+        failures = 0
+        launches = 0
+        while True:
+            launches += 1
+            if launches > MAX_TASK_LAUNCHES:
+                raise JobFailed(
+                    f"{spec.name}: a reduce task was relaunched "
+                    f"{MAX_TASK_LAUNCHES} times without completing "
+                    f"(nodes keep failing under it)")
+            grant = yield from self.yarn.allocate(spec.reduce_mem_mb)
+            if faults is not None and not faults.is_up(grant.node):
+                self.yarn.release(grant)
+                continue
+            attempt_start = self.sim.now
+            process = self.sim.active_process
+            if faults is not None:
+                faults.bind(grant.node, process)
+            try:
+                yield from self._reduce_attempt(spec, state, grant.node,
+                                                factor)
+            except TaskFailed:
+                state.failed_attempts += 1
+                self._trace_attempt("reduce", grant.node, attempt_start,
+                                    launches - 1, ok=False)
+                failures += 1
+                if failures >= MAX_TASK_ATTEMPTS:
+                    raise JobFailed(
+                        f"{spec.name}: a reduce task died "
+                        f"{MAX_TASK_ATTEMPTS} times")
+                continue
+            except Interrupt:
+                # Node loss mid-reduce: the whole attempt (shuffle
+                # included) re-runs on a surviving node, uncharged.
+                state.failed_attempts += 1
+                self._trace_attempt("reduce", grant.node, attempt_start,
+                                    launches - 1, ok=False, killed=True)
+                continue
+            except BlockUnavailable as exc:
+                raise JobFailed(f"{spec.name}: {exc}") from exc
+            finally:
+                if faults is not None:
+                    faults.unbind(grant.node, process)
+                self.yarn.release(grant)
+            self._trace_attempt("reduce", grant.node, attempt_start,
+                                launches - 1, ok=True)
+            state.reduces_done += 1
+            return
+
+    def _reduce_attempt(self, spec: JobSpec, state: "_JobState",
+                        node: str, factor: float):
+        """One attempt of one reduce task on ``node``."""
+        yield from self._task_overhead(node, factor)
+        # Shuffle can begin once slowstart fired (we are running), but
+        # the tail of map output only exists when all maps are done.
+        yield state.all_maps_done
+        shuffle_start = self.sim.now
+        input_bytes = yield from self._shuffle(spec, state, node)
+        if self.sim.trace is not None:
+            self.sim.trace.complete("shuffle", shuffle_start,
+                                    category="task", node=node,
+                                    nbytes=input_bytes)
+        if (spec.reduce_failure_rate > 0
+                and self._fault_rng.random() < spec.reduce_failure_rate):
+            # The attempt dies after shuffling real bytes — the costly
+            # place for a reducer to die, as on the real cluster.
+            raise TaskFailed(f"injected failure on {node}")
+        buffer_bytes = spec.reduce_mem_mb * 1e6 * MERGE_BUFFER_FRACTION
+        server = self.cluster.servers[node]
+        if input_bytes > buffer_bytes:
+            # On-disk merge round: spill and re-read what overflows.
+            overflow = input_bytes - buffer_bytes
+            yield from server.storage.write(overflow, buffered=True)
+            yield from server.storage.read(overflow, buffered=True)
+        yield from self._cpu(
+            node,
+            spec.costs.reduce_mi_per_mb * input_bytes / 1e6 * factor)
+        out = input_bytes * spec.output_ratio
+        if out > 0:
+            yield from self.hdfs.write(node, out)
+        yield self.sim.timeout(C.TASK_COMMIT_S)
+        yield from self.yarn.master_commit()
 
     def _trace_attempt(self, kind: str, node: str, start: float,
                        attempt: int, ok: bool, **attrs) -> None:
@@ -416,6 +586,12 @@ class JobRunner:
     def _shuffle(self, spec: JobSpec, state: "_JobState",
                  node: str) -> float:
         """Fetch this reducer's partition from every map-output node."""
+        faults = self.sim.faults
+        if faults is not None:
+            # Never snapshot the output ledger while lost maps are being
+            # re-executed — wait until it is whole again.
+            yield from state.wait_recoveries(self.sim)
+        snapshot_t = self.sim.now
         share = 1.0 / spec.reduce_tasks
         fetches = [(source, nbytes * share)
                    for source, nbytes in state.map_output_by_node.items()
@@ -429,6 +605,20 @@ class JobRunner:
                 legs.append(self.sim.process(
                     self._fetch(source, node, nbytes)))
             yield self.sim.all_of(legs)
+        if faults is not None:
+            # A source that started an outage during the window served
+            # suspect bytes: its local map output died with it, even if
+            # it has already rebooted.  Re-fetch those partitions from
+            # the re-executed maps' new homes.  ``total`` is unchanged —
+            # the fresh bytes replace the already-counted partition.
+            for source, _ in fetches:
+                if not faults.went_down_since(source, snapshot_t):
+                    continue
+                yield from state.wait_recoveries(self.sim)
+                for new_node, out_bytes in state.recovered_from.get(
+                        source, ()):
+                    yield from self._fetch(new_node, node,
+                                           out_bytes * share)
         return total
 
     def _fetch(self, source: str, dest: str, nbytes: float):
@@ -491,6 +681,18 @@ class _JobState:
         self.placed_maps = 0
         self.failed_attempts = 0
         self._slowstart_at = max(1, round(slowstart * spec.map_tasks))
+        # -- fault bookkeeping (all dormant without an injector) --------
+        #: node -> input splits whose map completed there (output on its
+        #: local disk; lost wholesale if the node goes down).
+        self.completed_maps: Dict[str, List] = {}
+        #: dead node -> [(new_node, out_bytes)] of re-executed maps.
+        self.recovered_from: Dict[str, List] = {}
+        #: Lost map outputs whose re-execution has not finished yet.
+        self.pending_recoveries = 0
+        #: Total completed maps invalidated by node loss (reporting).
+        self.lost_map_count = 0
+        self.map_factor = 1.0
+        self._recovery_event = None
 
     @property
     def locality_fraction(self) -> float:
@@ -507,6 +709,66 @@ class _JobState:
         if (self.maps_done >= self._slowstart_at
                 and not self.slowstart_event.triggered):
             self.slowstart_event.succeed()
+
+    # -- node-loss recovery (only reached with a fault injector) ---------
+
+    def completed_map(self, node: str, hdfs_file) -> None:
+        """Remember which split produced output on ``node``'s disk."""
+        self.completed_maps.setdefault(node, []).append(hdfs_file)
+
+    def lose_node(self, node: str):
+        """Invalidate every completed map output stored on ``node``.
+
+        Called synchronously at the crash instant so no reducer
+        snapshots a ledger that still trusts the dead node.  Returns
+        ``(lost_splits, counts)``: the input splits to re-execute, and
+        whether their completions should re-advance ``maps_done``
+        (False once the map phase had already closed — the barrier
+        event has fired and must not regress).
+        """
+        lost = self.completed_maps.pop(node, [])
+        self.map_output_by_node.pop(node, None)
+        counts = not self.all_maps_done.triggered
+        if lost:
+            # Stale recovery homes for an earlier incarnation of this
+            # node are irrelevant now — it has no output either way.
+            self.recovered_from.pop(node, None)
+            self.lost_map_count += len(lost)
+            self.pending_recoveries += len(lost)
+            if counts:
+                self.maps_done -= len(lost)
+        return lost, counts
+
+    def recovery_completed(self, sim: Simulation, old_node: str,
+                           new_node: str, out_bytes: float,
+                           counts: bool) -> None:
+        """A lost map re-ran on ``new_node``; settle the books."""
+        self.recovered_from.setdefault(old_node, []).append(
+            (new_node, out_bytes))
+        self.pending_recoveries -= 1
+        if counts:
+            self.map_finished(sim)
+        self._fire_recovery_event()
+
+    def _arm_recovery_event(self, sim: Simulation):
+        if self._recovery_event is None or self._recovery_event.triggered:
+            self._recovery_event = sim.event()
+        return self._recovery_event
+
+    def _fire_recovery_event(self) -> None:
+        event = self._recovery_event
+        if event is not None and not event.triggered:
+            event.succeed()
+
+    def wait_maps_complete(self, sim: Simulation):
+        """Process generator: block until every map output exists again."""
+        while self.maps_done < self.spec.map_tasks:
+            yield self._arm_recovery_event(sim)
+
+    def wait_recoveries(self, sim: Simulation):
+        """Process generator: block while any re-execution is pending."""
+        while self.pending_recoveries > 0:
+            yield self._arm_recovery_event(sim)
 
 
 def run_job(platform: str, slaves: int, spec: JobSpec,

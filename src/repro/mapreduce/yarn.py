@@ -39,9 +39,31 @@ class NodeManager:
         self.server = server
         self.total_mem_mb = task_mem_mb
         self.free_mem_mb = task_mem_mb
+        #: Blacklisted after its heartbeats stopped (node crash).
+        self.down = False
 
     def can_fit(self, mem_mb: int) -> bool:
-        return self.free_mem_mb >= mem_mb
+        return not self.down and self.free_mem_mb >= mem_mb
+
+    def mark_down(self) -> None:
+        """Blacklist the node and reclaim every container on it.
+
+        The ResourceManager expires a NodeManager whose heartbeats stop
+        and returns its containers to the pool; the memory mirror is
+        freed in one sweep, so releases for grants that died with the
+        node must be skipped (see :meth:`YarnScheduler.release`).
+        """
+        if self.down:
+            return
+        self.down = True
+        occupied = self.total_mem_mb - self.free_mem_mb
+        if occupied > 0:
+            self.server.memory.free(occupied * 1e6)
+        self.free_mem_mb = self.total_mem_mb
+
+    def mark_up(self) -> None:
+        """Return a rebooted node to service with a fresh container pool."""
+        self.down = False
 
     def reserve(self, mem_mb: int) -> None:
         if not self.can_fit(mem_mb):
@@ -186,8 +208,38 @@ class YarnScheduler:
             self.COMMIT_MI * self._master_penalty())
 
     def release(self, grant: ContainerGrant) -> None:
-        """Return a container's memory to its node."""
-        self.nodes[grant.node].release(grant.mem_mb)
+        """Return a container's memory to its node.
+
+        Releasing against a blacklisted node is a no-op: the expiry
+        sweep (:meth:`mark_node_down`) already reclaimed everything, so
+        honouring the release would double-free the memory mirror.
+        """
+        nm = self.nodes[grant.node]
+        if nm.down:
+            return
+        nm.release(grant.mem_mb)
         if self.sim.trace is not None:
             self.sim.trace.instant("container.release", category="yarn",
                                    node=grant.node, mem_mb=grant.mem_mb)
+
+    # -- failure detection (NodeManager heartbeat expiry) ----------------
+
+    def mark_node_down(self, name: str) -> None:
+        """Blacklist ``name`` and reclaim its containers."""
+        nm = self.nodes.get(name)
+        if nm is None or nm.down:
+            return
+        nm.mark_down()
+        if self.sim.trace is not None:
+            self.sim.trace.instant("node.blacklist", category="yarn",
+                                   node=name)
+
+    def mark_node_up(self, name: str) -> None:
+        """Return a rebooted ``name`` to the schedulable pool."""
+        nm = self.nodes.get(name)
+        if nm is None or not nm.down:
+            return
+        nm.mark_up()
+        if self.sim.trace is not None:
+            self.sim.trace.instant("node.rejoin", category="yarn",
+                                   node=name)

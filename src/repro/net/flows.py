@@ -102,6 +102,17 @@ class FlowNetwork:
     def active_count(self) -> int:
         return len(self.flows)
 
+    def rescale(self) -> None:
+        """Recompute fair shares after a segment capacity change.
+
+        Fault injection mutates ``Segment.capacity_Bps`` (NIC
+        degradation and repair); calling this settles bytes moved at the
+        old rates, then re-runs progressive filling so every in-flight
+        flow continues at the new fair share.  A no-op when idle.
+        """
+        self._advance_clock()
+        self._reallocate()
+
     # -- internals --------------------------------------------------------
 
     def _advance_clock(self) -> None:

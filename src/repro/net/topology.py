@@ -56,6 +56,15 @@ class Topology:
     def server(self, name: str) -> Server:
         return self._servers[name]
 
+    def nic_segments(self, name: str):
+        """The (tx, rx) segment pair of one server's NIC.
+
+        Fault injection scales their ``capacity_Bps`` to model link
+        degradation; callers must :meth:`FlowNetwork.rescale` afterwards
+        so in-flight fluid flows re-converge on the new rates.
+        """
+        return self._tx[name], self._rx[name]
+
     def rack_of(self, name: str) -> str:
         return self._rack[name]
 

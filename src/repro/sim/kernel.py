@@ -298,6 +298,10 @@ class Simulation:
         self._seq = count()
         self._active_process: Optional[Process] = None
         self.trace = trace
+        #: Attached fault injector (set by repro.faults.FaultInjector).
+        #: ``None`` keeps every fault-aware path at a single None-check,
+        #: exactly like ``trace`` — untouched runs stay bit-identical.
+        self.faults = None
         self._events_scheduled = 0
         self._events_processed = 0
         self._heap_peak = 0

@@ -94,6 +94,7 @@ class UrllibProbe:
             attempt += 1
         yield sim.timeout(
             self.deployment.cluster.topology.rtt(client, web.server.name))
+        epoch = web.epoch
         try:
             yield from self.deployment.cluster.topology.message(
                 client, web.server.name, self.deployment.workload.request_bytes)
@@ -104,7 +105,7 @@ class UrllibProbe:
                     and sim.now >= self.collect_after:
                 self.log.delays_s.append(sim.now - start)
         finally:
-            web.close_connection()
+            web.close_connection(epoch)
 
 
 def delay_distribution(platform: str, total_rate_rps: float = 6000.0,

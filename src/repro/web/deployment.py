@@ -74,6 +74,28 @@ class WebServiceDeployment:
             frac = P.MEMORY_RESERVATION[(self.platform, "cache")]
             node.server.memory.reserve(frac * node.server.memory.capacity_bytes)
 
+    # -- fault injection ---------------------------------------------------
+
+    def attach_faults(self, plan, **kwargs):
+        """Attach a :class:`repro.faults.FaultInjector` running ``plan``.
+
+        Also wires the deployment's recovery hook: a web server whose
+        crash/power fault is repaired reboots with a clean connection
+        table (see :meth:`WebServerNode.reset`).
+        """
+        from ..faults import FaultInjector   # deferred: avoids a cycle
+        injector = FaultInjector(self.cluster, plan, **kwargs)
+        injector.add_listener(self._on_fault_event)
+        return injector
+
+    def _on_fault_event(self, event: str, node: str, kind: str) -> None:
+        if event != "up" or kind not in ("crash", "power"):
+            return
+        for web in self.web_nodes:
+            if web.server.name == node:
+                web.reset()
+                return
+
     # -- capacity planning -------------------------------------------------
 
     @property
@@ -103,6 +125,10 @@ class WebServiceDeployment:
         if calls is None:
             calls = P.tuned_calls_per_connection(concurrency,
                                                  self.target_rps())
+        if self.sim.faults is not None:
+            # Covers injectors attached directly rather than through
+            # attach_faults (add_listener deduplicates).
+            self.sim.faults.add_listener(self._on_fault_event)
         driver = HttperfDriver(
             self.sim, self.cluster.topology, self.web_nodes,
             self.client_names, self.workload,

@@ -92,11 +92,30 @@ class HttperfDriver:
         if concurrency <= 0 or calls < 1:
             raise ValueError("concurrency must be > 0 and calls >= 1")
         index = 0
+        n = len(self.web_nodes)
         while self.sim.now < until:
             yield self.sim.timeout(self.rng.expovariate(concurrency))
-            web = self.web_nodes[index % len(self.web_nodes)]
-            client = self.client_names[index % len(self.client_names)]
-            index += 1
+            faults = self.sim.faults
+            if faults is None:
+                web = self.web_nodes[index % n]
+                client = self.client_names[index % len(self.client_names)]
+                index += 1
+            else:
+                # The HAProxy role: health checks pull a backend out of
+                # rotation once its outage exceeds the detection window,
+                # so its share of the load fails over to the survivors.
+                web = None
+                for _ in range(n):
+                    candidate = self.web_nodes[index % n]
+                    client = self.client_names[index % len(self.client_names)]
+                    index += 1
+                    if not faults.detected_down(candidate.server.name):
+                        web = candidate
+                        break
+                if web is None:
+                    # Every backend is marked down.
+                    self._count_failed_connection()
+                    continue
             self.sim.process(self._connection(client, web, calls),
                              name=f"conn-{index}")
 
@@ -118,6 +137,7 @@ class HttperfDriver:
                                     node=web.server.name, client=client,
                                     syn_retries=attempt)
         self._count_connection()
+        epoch = web.epoch
         try:
             for i in range(calls):
                 call_start = self.sim.now
@@ -133,8 +153,10 @@ class HttperfDriver:
                 call_delay = self.sim.now - call_start
                 reported = call_delay + (connect_delay if i == 0 else 0.0)
                 self._count_call(record.ok, call_delay, reported)
+                if record.status == 503:
+                    return  # the server died; the connection died with it
         finally:
-            web.close_connection()
+            web.close_connection(epoch)
 
     # -- windowed counting -------------------------------------------------
 

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..hardware.server import Server
 from ..net import Topology
-from ..sim import Simulation
+from ..sim import Interrupt, Simulation
 from . import params as P
 
 #: Client-kernel SYN retransmission schedule (1 s, then 2 s, then 4 s).
@@ -129,6 +129,9 @@ class WebServerNode:
         self.ports = PortPool(sim, limits.port_pool, limits.time_wait_s)
         self.established = 0
         self.active_calls = 0
+        #: Bumped by :meth:`reset` so connections that straddle a crash
+        #: cannot tear down post-reboot state they no longer own.
+        self.epoch = 0
         # Statistics.
         self.syn_drops = 0
         self.accepted = 0
@@ -140,6 +143,11 @@ class WebServerNode:
 
     def try_accept(self) -> bool:
         """Admit a SYN if a connection slot and an ephemeral port exist."""
+        if (self.sim.faults is not None
+                and not self.sim.faults.is_up(self.server.name)):
+            # A dead server answers nothing; the SYN goes unanswered.
+            self.syn_drops += 1
+            return False
         if self.established >= self.limits.max_connections:
             self.syn_drops += 1
             return False
@@ -150,10 +158,25 @@ class WebServerNode:
         self.accepted += 1
         return True
 
-    def close_connection(self) -> None:
-        """Tear down an established connection; port enters TIME_WAIT."""
+    def close_connection(self, epoch: Optional[int] = None) -> None:
+        """Tear down an established connection; port enters TIME_WAIT.
+
+        ``epoch`` (when given) must match the server's current epoch:
+        a close for a connection that died with a previous incarnation
+        of the server is a stale no-op, not a teardown of fresh state.
+        """
+        if epoch is not None and epoch != self.epoch:
+            return
         self.established -= 1
         self.ports.release_after_time_wait()
+
+    def reset(self) -> None:
+        """Reboot: every connection and in-flight call is forgotten."""
+        self.established = 0
+        self.active_calls = 0
+        self.ports = PortPool(self.sim, self.limits.port_pool,
+                              self.limits.time_wait_s)
+        self.epoch += 1
 
     # -- request handling ----------------------------------------------------
 
@@ -174,18 +197,13 @@ class WebServerNode:
         if self.active_calls >= self.limits.call_queue_limit:
             # Thread/FD exhaustion: answer 500 cheaply (Figures 4-6's
             # "server error beyond the concurrency cliff").
-            self.errors_500 += 1
-            record.status = 500
-            yield from self.server.cpu.execute(self.costs.error_mi)
-            yield from self.topology.message(
-                self.server.name, client_name, P.ERROR_REPLY_BYTES)
-            record.total_s = self.sim.now - record.start
-            if trace is not None:
-                trace.complete("request", record.start, category="web",
-                               node=self.server.name, req=rid, status=500)
-            self._log(record)
+            yield from self._error_reply(record, client_name, rid, trace)
             return record
         self.active_calls += 1
+        faults = self.sim.faults
+        process = self.sim.active_process
+        if faults is not None:
+            faults.bind(self.server.name, process)
         try:
             content = self._pick_content()
             # Per-request work varies (page size, PHP branches, kernel
@@ -198,13 +216,19 @@ class WebServerNode:
             # Cache leg (timed as the paper's web-server logs time it).
             cache_start = self.sim.now
             cache = self.rng.choice(self.cache_nodes)
-            yield from self.topology.message(
-                self.server.name, cache.server.name, P.CACHE_KEY_BYTES)
-            yield from cache.handle_get()
-            hit = self.rng.random() < self.workload.cache_hit_ratio
-            if hit:
+            if faults is not None and not faults.is_up(cache.server.name):
+                # Dead memcached: the get times out client-side and the
+                # request falls through to the database as a miss.
+                yield self.sim.timeout(P.CACHE_DEAD_TIMEOUT_S)
+                hit = False
+            else:
                 yield from self.topology.message(
-                    cache.server.name, self.server.name, content)
+                    self.server.name, cache.server.name, P.CACHE_KEY_BYTES)
+                yield from cache.handle_get()
+                hit = self.rng.random() < self.workload.cache_hit_ratio
+                if hit:
+                    yield from self.topology.message(
+                        cache.server.name, self.server.name, content)
             yield from self.server.cpu.execute(self.costs.cache_client_mi)
             record.cache_s = self.sim.now - cache_start
             if trace is not None:
@@ -213,6 +237,16 @@ class WebServerNode:
             if not hit:
                 db_start = self.sim.now
                 db = self.rng.choice(self.db_nodes)
+                if faults is not None and not faults.is_up(db.server.name):
+                    # Fail over to any live database replica; with the
+                    # whole tier down the page cannot be built at all.
+                    live = [d for d in self.db_nodes
+                            if faults.is_up(d.server.name)]
+                    if not live:
+                        yield from self._error_reply(record, client_name,
+                                                     rid, trace)
+                        return record
+                    db = live[0]
                 yield from self.topology.message(
                     self.server.name, db.server.name, P.DB_QUERY_BYTES)
                 yield from db.handle_query(content)
@@ -235,8 +269,34 @@ class WebServerNode:
                                status=record.status)
             self._log(record)
             return record
+        except Interrupt:
+            # The web server died under this request; the client's
+            # connection is dead (reported as a 503 service failure).
+            record.status = 503
+            record.total_s = self.sim.now - record.start
+            if trace is not None:
+                trace.complete("request", record.start, category="web",
+                               node=self.server.name, req=rid, status=503)
+            self._log(record)
+            return record
         finally:
+            if faults is not None:
+                faults.unbind(self.server.name, process)
             self.active_calls -= 1
+
+    def _error_reply(self, record: CallRecord, client_name: str,
+                     rid: int, trace):
+        """Answer 500 cheaply and log the failed call."""
+        self.errors_500 += 1
+        record.status = 500
+        yield from self.server.cpu.execute(self.costs.error_mi)
+        yield from self.topology.message(
+            self.server.name, client_name, P.ERROR_REPLY_BYTES)
+        record.total_s = self.sim.now - record.start
+        if trace is not None:
+            trace.complete("request", record.start, category="web",
+                           node=self.server.name, req=rid, status=500)
+        self._log(record)
 
     def _log(self, record: CallRecord) -> None:
         if self.record_log_enabled:

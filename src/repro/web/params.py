@@ -65,6 +65,10 @@ DB_QUERY_MI = 13.7
 #: Fraction of misses that touch the DB server's disk (image blobs not
 #: in the buffer pool) and the bytes read when they do.
 DB_DISK_PROBABILITY = 0.10
+#: How long a PHP memcached client waits on a dead cache server before
+#: treating the get as a miss (the client library's receive timeout;
+#: only reachable under fault injection).
+CACHE_DEAD_TIMEOUT_S = 0.05
 
 #: Request/reply sizing.  The image-table mean reply is derived from
 #: the paper's mix table: 0.9*1.5 KB + 0.1*B = 5.8 KB -> B ~= 44.5 KB,

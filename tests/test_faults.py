@@ -1,0 +1,327 @@
+"""Tests for repro.faults: models, injector mechanics, the no-fault
+bit-identity guarantee, and the headline kill-one-node experiments."""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster import edison_cluster
+from repro.faults import (AvailabilityReport, Fault, FaultInjector,
+                          FaultPlan, RecurringFault, disk_failure,
+                          disk_stall, nic_degrade, node_crash, power_event,
+                          single_node_kill, web_kill_experiment)
+from repro.mapreduce import JobRunner, run_job
+from repro.mapreduce.runtime import JobFailed
+from repro.sim import Simulation
+from repro.trace import Tracer
+from repro.web import WebServiceDeployment
+from tests.test_mapreduce_jobs import small_spec
+
+
+# -- models -------------------------------------------------------------------
+
+def test_unknown_fault_kind_rejected():
+    with pytest.raises(ValueError):
+        Fault(kind="gremlin", node="a", at=0, duration=1)
+    with pytest.raises(ValueError):
+        RecurringFault(kind="gremlin", node="a", mtbf_s=10, mttr_s=1)
+
+
+def test_fault_timing_validation():
+    with pytest.raises(ValueError):
+        node_crash("a", at=-1, repair_s=5)
+    with pytest.raises(ValueError):
+        node_crash("a", at=0, repair_s=0)
+    with pytest.raises(ValueError):
+        Fault(kind="crash", node="", at=0, duration=1)
+    with pytest.raises(ValueError):
+        power_event("a", at=0, outage_s=1, reboot_s=-1)
+
+
+def test_only_disk_fail_may_be_permanent():
+    with pytest.raises(ValueError):
+        Fault(kind="crash", node="a", at=0)        # duration defaults to inf
+    fault = disk_failure("a", at=3)
+    assert math.isinf(fault.duration)
+
+
+def test_nic_factor_and_stall_slowdown_bounds():
+    with pytest.raises(ValueError):
+        nic_degrade("a", at=0, duration=1, factor=0.0)
+    with pytest.raises(ValueError):
+        nic_degrade("a", at=0, duration=1, factor=1.5)
+    assert nic_degrade("a", at=0, duration=1, factor=1.0).factor == 1.0
+    with pytest.raises(ValueError):
+        disk_stall("a", at=0, duration=1, slowdown=0.5)
+
+
+def test_recurring_disk_fail_rejected():
+    with pytest.raises(ValueError):
+        RecurringFault(kind="disk_fail", node="a", mtbf_s=100, mttr_s=10)
+    with pytest.raises(ValueError):
+        RecurringFault(kind="crash", node="a", mtbf_s=0, mttr_s=10)
+
+
+def test_plan_nodes_and_check_against():
+    plan = FaultPlan(
+        faults=(node_crash("a", 1, 2), node_crash("a", 9, 2),
+                disk_failure("b", 5)),
+        recurring=(RecurringFault(kind="nic", node="c", mtbf_s=50,
+                                  mttr_s=5),))
+    assert len(plan) == 4
+    assert not plan.is_empty
+    assert plan.nodes() == ["a", "b", "c"]
+    plan.check_against(["a", "b", "c", "d"])
+    with pytest.raises(ValueError):
+        plan.check_against(["a", "b"])
+    assert FaultPlan.empty().is_empty
+
+
+def test_plan_save_load_roundtrip(tmp_path):
+    plan = FaultPlan(
+        faults=(power_event("n0", at=2, outage_s=5, reboot_s=3),
+                nic_degrade("n1", at=1, duration=4, factor=0.25),
+                disk_failure("n2", at=7)),
+        recurring=(RecurringFault(kind="disk_stall", node="n0", mtbf_s=60,
+                                  mttr_s=2, slowdown=8, start=10),))
+    path = tmp_path / "plan.json"
+    plan.save(str(path))
+    assert FaultPlan.load(str(path)) == plan
+
+
+def test_plan_load_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(ValueError):
+        FaultPlan.load(str(path))
+    path.write_text('{"faults": [{"kind": "crash", "node": "a", "att": 1}]}')
+    with pytest.raises(ValueError):
+        FaultPlan.load(str(path))
+    path.write_text('{"surprise": []}')
+    with pytest.raises(ValueError):
+        FaultPlan.load(str(path))
+
+
+# -- injector mechanics -------------------------------------------------------
+
+def test_empty_plan_schedules_nothing():
+    sim = Simulation()
+    cluster = edison_cluster(sim, 2)
+    injector = FaultInjector(cluster)
+    sim.run()
+    assert sim.now == 0          # no fault processes were created
+    assert injector.records == []
+    assert all(injector.is_up(n) for n in cluster.servers)
+
+
+def test_second_injector_rejected():
+    sim = Simulation()
+    cluster = edison_cluster(sim, 2)
+    FaultInjector(cluster)
+    with pytest.raises(RuntimeError):
+        FaultInjector(cluster)
+
+
+def test_plan_checked_against_cluster_nodes():
+    sim = Simulation()
+    cluster = edison_cluster(sim, 2)
+    with pytest.raises(ValueError):
+        FaultInjector(cluster, single_node_kill("no-such-node", 1.0))
+
+
+def test_crash_status_detection_and_mttr():
+    sim = Simulation()
+    cluster = edison_cluster(sim, 2)
+    injector = FaultInjector(cluster, FaultPlan(
+        faults=(node_crash("edison-0", at=1.0, repair_s=2.0),)),
+        detection_s=0.25)
+    sim.run(until=1.1)
+    assert not injector.is_up("edison-0")
+    assert not injector.detected_down("edison-0")   # within the window
+    assert injector.is_up("edison-1")
+    sim.run(until=1.5)
+    assert injector.detected_down("edison-0")
+    assert injector.went_down_since("edison-0", 0.5)
+    assert not injector.went_down_since("edison-0", 2.0)
+    sim.run(until=4.0)
+    assert injector.is_up("edison-0")
+    assert injector.downtime("edison-0") == pytest.approx(2.0)
+    assert injector.mean_mttr() == pytest.approx(2.0)
+    # 2 nodes x 4 s = 8 node-seconds, 2 lost.
+    assert injector.mean_availability(until=4.0) == pytest.approx(0.75)
+    report = AvailabilityReport.from_injector(injector, until=4.0)
+    assert report.faults_injected == 1
+    assert report.open_outages == 0
+    assert report.mean_availability == pytest.approx(0.75)
+    assert len(report.lines()) == 4
+
+
+def test_power_fault_draws_zero_then_idle_watts():
+    sim = Simulation()
+    cluster = edison_cluster(sim, 2)
+    injector = FaultInjector(cluster, FaultPlan(faults=(
+        power_event("edison-0", at=1.0, outage_s=2.0, reboot_s=1.0),
+        node_crash("edison-1", at=1.0, repair_s=3.0))))
+    unpowered = cluster.servers["edison-0"]
+    crashed = cluster.servers["edison-1"]
+    util = unpowered.utilization_window()
+    healthy_w = unpowered.spec.power.power(util)
+    sim.run(until=2.0)           # outage in progress
+    assert injector.node_watts(unpowered, util) == 0.0
+    assert injector.node_watts(crashed, util) == crashed.spec.power.min_w
+    sim.run(until=3.5)           # power restored, still rebooting at idle
+    assert injector.node_watts(unpowered, util) == unpowered.spec.power.min_w
+    assert not injector.is_up("edison-0")
+    sim.run(until=5.0)           # both repaired
+    assert injector.node_watts(unpowered, util) == healthy_w
+    assert injector.is_up("edison-0") and injector.is_up("edison-1")
+    # The outage counts reboot time too: down 1.0 -> 4.0.
+    assert injector.downtime("edison-0") == pytest.approx(3.0)
+
+
+def test_nic_degrade_restores_exact_capacity():
+    sim = Simulation()
+    cluster = edison_cluster(sim, 2)
+    tx, rx = cluster.topology.nic_segments("edison-0")
+    base_tx, base_rx = tx.capacity_Bps, rx.capacity_Bps
+    FaultInjector(cluster, FaultPlan(faults=(
+        nic_degrade("edison-0", at=0.5, duration=1.0, factor=0.5),)))
+    sim.run(until=1.0)
+    assert tx.capacity_Bps == base_tx * 0.5
+    assert rx.capacity_Bps == base_rx * 0.5
+    sim.run()
+    # Bit-identical restore, not base*0.5/0.5.
+    assert tx.capacity_Bps == base_tx
+    assert rx.capacity_Bps == base_rx
+
+
+def test_disk_stall_sets_and_clears_slowdown():
+    sim = Simulation()
+    cluster = edison_cluster(sim, 2)
+    storage = cluster.servers["edison-0"].storage
+    FaultInjector(cluster, FaultPlan(faults=(
+        disk_stall("edison-0", at=0.5, duration=1.0, slowdown=8.0),
+        disk_stall("edison-0", at=0.75, duration=0.5, slowdown=3.0))))
+    sim.run(until=1.0)
+    assert storage.slowdown == 8.0   # max of overlapping stalls
+    sim.run()
+    assert storage.slowdown == 1.0
+    assert cluster.servers["edison-1"].storage.slowdown == 1.0
+
+
+def test_disk_failure_is_permanent():
+    sim = Simulation()
+    cluster = edison_cluster(sim, 2)
+    injector = FaultInjector(cluster, FaultPlan(faults=(
+        disk_failure("edison-0", at=1.0),)))
+    sim.run()
+    assert injector.disk_failed("edison-0")
+    assert injector.is_up("edison-0")        # node serves, disk is gone
+    assert injector.records[0].end is None   # never repaired
+
+
+def test_recurring_faults_are_seeded_and_reproducible():
+    def run(seed):
+        sim = Simulation()
+        cluster = edison_cluster(sim, 2)
+        injector = FaultInjector(cluster, FaultPlan(recurring=(
+            RecurringFault(kind="crash", node="edison-0", mtbf_s=20,
+                           mttr_s=2),)), seed=seed)
+        sim.run(until=200.0)
+        return [(r.start, r.end) for r in injector.records]
+
+    first = run(5)
+    assert first == run(5)
+    assert first != run(6)
+    assert len(first) > 2
+
+
+# -- the no-fault bit-identity guarantee --------------------------------------
+
+def test_empty_plan_keeps_web_run_bit_identical():
+    kwargs = dict(duration=1.5, warmup=0.5)
+    plain = WebServiceDeployment("edison", "1/8", seed=3).run_level(
+        16, **kwargs)
+    dep = WebServiceDeployment("edison", "1/8", seed=3)
+    dep.attach_faults(FaultPlan.empty())
+    chaos = dep.run_level(16, **kwargs)
+    assert chaos == plain                    # bit-identical LevelResult
+
+
+def test_empty_plan_keeps_job_run_bit_identical():
+    plain = run_job("edison", 4, small_spec())
+    runner = JobRunner("edison", 4)
+    FaultInjector(runner.cluster, FaultPlan.empty())
+    chaos = runner.run(small_spec())
+    assert chaos.seconds == plain.seconds
+    assert chaos.joules == plain.joules
+
+
+# -- the headline experiments -------------------------------------------------
+
+def test_killing_one_edison_costs_marginal_web_goodput():
+    """The paper's pitch: losing 1 of 35 Edisons is a ~1/35 event.
+
+    At saturation, killing one of the 24 web servers for the whole
+    measurement window sheds its capacity share of goodput — about
+    4 % — and nothing else: no cascade, no unserved survivors.
+    """
+    result = web_kill_experiment(concurrency=2048, duration=4.0,
+                                 warmup=1.0, kill_at=0.0)
+    assert result.web_servers == 24
+    assert result.faulted.ok_calls < result.baseline.ok_calls
+    assert abs(result.goodput_loss_fraction - 1 / 35) <= 0.02
+    # The loss tracks the capacity-share prediction, not a collapse.
+    assert abs(result.goodput_loss_fraction
+               - result.expected_loss_fraction) <= 0.02
+    assert result.availability.open_outages == 1
+
+
+def test_wordcount_survives_losing_a_slave():
+    """Killing a slave mid-job loses completed map output; the job
+    still finishes through re-execution and HDFS replica fallback."""
+    baseline = JobRunner("edison", 8, seed=7).run(small_spec())
+    tracer = Tracer()
+    runner = JobRunner("edison", 8, seed=7, trace=tracer)
+    FaultInjector(runner.cluster, single_node_kill("edison-slave-0", 75.0))
+    report = runner.run(small_spec())
+    assert report.seconds > baseline.seconds     # recovery costs time
+    state = runner._active[1]
+    assert state.lost_map_count > 0              # completed maps were lost
+    assert state.pending_recoveries == 0
+    assert state.reduces_done == small_spec().reduce_tasks
+    # Failure detection and recovery are visible in the trace.
+    fault_events = [e for e in tracer.log if e.category == "fault"]
+    assert any(e.name == "fault.crash" for e in fault_events)
+    assert any(e.name == "node.blacklist" for e in tracer.log)
+
+
+def test_job_fails_cleanly_when_all_replicas_are_gone():
+    runner = JobRunner("edison", 4)
+    FaultInjector(runner.cluster, FaultPlan(faults=tuple(
+        disk_failure(f"edison-slave-{i}", at=20.0) for i in range(4))))
+    with pytest.raises(JobFailed):
+        runner.run(small_spec())
+
+
+def test_reduce_failure_rate_is_validated():
+    with pytest.raises(ValueError):
+        replace(small_spec(), reduce_failure_rate=1.0)
+    with pytest.raises(ValueError):
+        replace(small_spec(), reduce_failure_rate=-0.1)
+
+
+def test_injected_reduce_failures_are_retried():
+    clean = run_job("edison", 4, small_spec())
+    runner = JobRunner("edison", 4)
+    faulty = runner.run(replace(small_spec(), reduce_failure_rate=0.4))
+    assert faulty.seconds > clean.seconds    # retries cost time
+    assert faulty.timeline.map_progress.values[-1] == pytest.approx(1.0)
+
+
+def test_certain_reduce_failure_fails_the_job():
+    runner = JobRunner("edison", 4)
+    doomed = replace(small_spec(), reduce_failure_rate=0.999999)
+    with pytest.raises(JobFailed, match="reduce"):
+        runner.run(doomed)

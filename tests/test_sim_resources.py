@@ -213,3 +213,170 @@ def test_store_len_tracks_items():
     store.put("b")
     sim.run()
     assert len(store) == 2
+
+
+# -- Interrupt interactions (the guarantee Interrupt's docstring makes) --
+
+
+def test_interrupt_queued_waiter_leaks_no_capacity():
+    """Killing a process waiting in the queue must not consume a slot."""
+    from repro.sim import Interrupt
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+    granted = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield sim.timeout(10)
+
+    def waiter():
+        try:
+            with res.request() as req:
+                yield req
+                granted.append("waiter")
+                yield sim.timeout(1)
+        except Interrupt:
+            pass
+
+    def late():
+        with res.request() as req:
+            yield req
+            granted.append(("late", sim.now))
+            yield sim.timeout(1)
+
+    def killer(victim):
+        yield sim.timeout(5)
+        victim.interrupt(cause="chaos")
+
+    sim.process(holder())
+    victim = sim.process(waiter())
+    sim.process(late())
+    sim.process(killer(victim))
+    sim.run()
+    # The dead waiter never ran; the slot went straight to ``late``.
+    assert granted == [("late", 10)]
+    assert res.count == 0
+    assert res.queue_length == 0
+
+
+def test_interrupt_holder_mid_hold_frees_slot():
+    """Killing the current holder returns its slot to the queue."""
+    from repro.sim import Interrupt
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+    granted = []
+
+    def holder():
+        try:
+            with res.request() as req:
+                yield req
+                yield sim.timeout(100)
+        except Interrupt:
+            pass
+
+    def waiter():
+        with res.request() as req:
+            yield req
+            granted.append(sim.now)
+            yield sim.timeout(1)
+
+    def killer(victim):
+        yield sim.timeout(3)
+        victim.interrupt(cause="chaos")
+
+    victim = sim.process(holder())
+    sim.process(waiter())
+    sim.process(killer(victim))
+    sim.run()
+    assert granted == [3]
+    assert res.count == 0
+
+
+def test_same_time_grant_then_interrupt_leaks_no_capacity():
+    """Grant and interrupt landing at the same instant must not leak.
+
+    At t=1 the holder releases — synchronously granting the queued
+    request — and in the same timestep the killer interrupts the
+    waiter before the grant is delivered.  The waiter's ``with`` block
+    must still hand the slot back.
+    """
+    from repro.sim import Interrupt
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+    granted = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield sim.timeout(1)
+
+    def waiter():
+        try:
+            with res.request() as req:
+                yield req
+                granted.append("waiter")
+                yield sim.timeout(5)
+        except Interrupt:
+            pass
+
+    def killer(victim):
+        yield sim.timeout(1)
+        victim.interrupt(cause="race")
+
+    def late():
+        yield sim.timeout(2)
+        with res.request() as req:
+            yield req
+            granted.append(("late", sim.now))
+
+    sim.process(holder())          # timeout scheduled first: fires first
+    victim = sim.process(waiter())
+    sim.process(killer(victim))
+    sim.process(late())
+    sim.run()
+    assert granted == [("late", 2)]
+    assert res.count == 0
+    assert res.queue_length == 0
+
+
+def test_same_time_interrupt_then_grant_leaks_no_capacity():
+    """The mirror ordering: interrupt delivered before the release."""
+    from repro.sim import Interrupt
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+    granted = []
+
+    def killer(victim):
+        yield sim.timeout(1)
+        victim.interrupt(cause="race")
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield sim.timeout(1)
+
+    def waiter():
+        try:
+            with res.request() as req:
+                yield req
+                granted.append("waiter")
+                yield sim.timeout(5)
+        except Interrupt:
+            pass
+
+    def late():
+        yield sim.timeout(2)
+        with res.request() as req:
+            yield req
+            granted.append(("late", sim.now))
+
+    hold_proc = sim.process(holder())
+    victim = sim.process(waiter())
+    sim.process(killer(victim))    # URGENT interrupt beats the release
+    sim.process(late())
+    sim.run()
+    assert hold_proc.is_alive is False
+    assert granted == [("late", 2)]
+    assert res.count == 0
+    assert res.queue_length == 0
