@@ -30,6 +30,8 @@ from .mapreduce import JOB_FACTORIES, TABLE8_JOBS, JobReport, JobRunner, \
     JobSpec, run_job
 from .sim import Simulation
 from .tco import cluster_tco, table10
+from .telemetry import DetectionReport, SloReport, SloSpec, Telemetry, \
+    TimeSeriesDB, default_rules
 from .trace import TraceLog, Tracer, delay_decomposition_from_trace, \
     to_chrome_trace, write_chrome_trace
 from .web import WebServiceDeployment, WebWorkload, delay_distribution, \
@@ -38,12 +40,15 @@ from .web import WebServiceDeployment, WebWorkload, delay_distribution, \
 __version__ = "1.0.0"
 
 __all__ = [
-    "Cluster", "DELL_R620", "EDISON", "EDISON_INTEGRATED_NIC",
+    "Cluster", "DELL_R620", "DetectionReport", "EDISON",
+    "EDISON_INTEGRATED_NIC",
     "EnergyReport", "FaultInjector", "FaultPlan", "JOB_FACTORIES",
     "JobReport", "JobRunner", "JobSpec",
-    "PowerMeter", "Server", "ServerSpec", "Simulation", "TABLE8_JOBS",
+    "PowerMeter", "Server", "ServerSpec", "Simulation", "SloReport",
+    "SloSpec", "TABLE8_JOBS", "Telemetry", "TimeSeriesDB",
     "TraceLog", "Tracer", "WebServiceDeployment", "WebWorkload",
-    "cluster_tco", "delay_decomposition_from_trace", "dell_cluster",
+    "cluster_tco", "default_rules", "delay_decomposition_from_trace",
+    "dell_cluster",
     "delay_distribution", "edison_cluster", "hadoop_cluster",
     "job_kill_experiment", "make_server",
     "measure_delay_decomposition", "paperdata", "run_job",

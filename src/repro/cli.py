@@ -52,37 +52,93 @@ def _print_fault_report(injector) -> None:
         print(line)
 
 
-def _make_tracer(args):
-    """A Tracer when ``--trace`` was given, else None."""
-    if not getattr(args, "trace", None):
-        return None
-    parent = os.path.dirname(args.trace) or "."
+def _check_parent_dir(flag: str, path: str) -> None:
+    parent = os.path.dirname(path) or "."
     if not os.path.isdir(parent):
         # fail before the simulation runs, not after minutes of work
-        raise SystemExit(f"repro: error: --trace directory does not exist: "
+        raise SystemExit(f"repro: error: {flag} directory does not exist: "
                          f"{parent}")
+
+
+def _make_tracer(args):
+    """A Tracer when ``--trace`` or ``--metrics`` was given, else None.
+
+    ``--metrics`` rides the trace event stream (the tracer's registry
+    aggregates every emission), so either flag forces a tracer.
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if not trace_path and not metrics_path:
+        return None
+    if trace_path:
+        _check_parent_dir("--trace", trace_path)
+    if metrics_path:
+        _check_parent_dir("--metrics", metrics_path)
     return Tracer()
 
 
 def _export_trace(tracer, args) -> None:
     if tracer is None:
         return
-    write_chrome_trace(tracer.log, args.trace)
-    print(f"trace: {len(tracer.log)} events -> {args.trace} "
-          f"(open in https://ui.perfetto.dev)")
+    if getattr(args, "trace", None):
+        write_chrome_trace(tracer.log, args.trace)
+        print(f"trace: {len(tracer.log)} events -> {args.trace} "
+              f"(open in https://ui.perfetto.dev)")
+    _export_metrics(tracer, args)
+
+
+def _export_metrics(tracer, args) -> None:
+    import json
+    path = getattr(args, "metrics", None)
+    if tracer is None or not path:
+        return
+    snapshot = tracer.metrics.snapshot()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=1)
+    print(f"metrics: {len(snapshot)} instruments -> {path}")
+
+
+def _make_telemetry(args):
+    """A Telemetry (with the stock rules) when ``--telemetry`` was given."""
+    path = getattr(args, "telemetry", None)
+    if not path:
+        return None
+    _check_parent_dir("--telemetry", path)
+    from .telemetry import Telemetry, default_rules
+    return Telemetry(rules=default_rules())
+
+
+def _export_telemetry(telemetry, args) -> None:
+    if telemetry is None:
+        return
+    telemetry.save(args.telemetry)
+    for line in telemetry.alert_lines():
+        print(line)
+    for line in telemetry.slo_report().lines():
+        print(line)
+    if telemetry.sim is not None and telemetry.sim.faults is not None:
+        for line in telemetry.detection_report().lines():
+            print(line)
+    print(f"telemetry: {len(telemetry.db)} series -> {args.telemetry} "
+          f"(render with: python -m repro report {args.telemetry} "
+          f"--html dash.html)")
 
 
 def _cmd_web(args) -> int:
     workload = WebWorkload(image_fraction=args.images,
                            cache_hit_ratio=args.hit_ratio)
     tracer = _make_tracer(args)
+    telemetry = _make_telemetry(args)
     plan = _load_fault_plan(args)
     deployment = WebServiceDeployment(args.platform, args.scale, workload,
                                       seed=args.seed, trace=tracer)
+    if telemetry is not None:
+        telemetry.attach_web(deployment)
     injector = deployment.attach_faults(plan) if plan is not None else None
     level = deployment.run_level(args.concurrency, duration=args.duration,
                                  warmup=args.duration / 3)
     _export_trace(tracer, args)
+    _export_telemetry(telemetry, args)
     if injector is not None:
         _print_fault_report(injector)
     print(format_table(
@@ -102,15 +158,19 @@ def _cmd_web(args) -> int:
 def _cmd_job(args) -> int:
     spec, config = JOB_FACTORIES[args.name](args.platform, args.slaves)
     tracer = _make_tracer(args)
+    telemetry = _make_telemetry(args)
     plan = _load_fault_plan(args)
     runner = JobRunner(args.platform, args.slaves, config=config,
                        seed=args.seed, trace=tracer)
+    if telemetry is not None:
+        telemetry.attach_job(runner)
     injector = None
     if plan is not None:
         from .faults import FaultInjector
         injector = FaultInjector(runner.cluster, plan)
     report = runner.run(spec)
     _export_trace(tracer, args)
+    _export_telemetry(telemetry, args)
     if injector is not None:
         _print_fault_report(injector)
     print(format_table(
@@ -131,12 +191,15 @@ def _cmd_chaos_web(args) -> int:
     from .faults import web_kill_experiment
     plan = _load_fault_plan(args)
     tracer = _make_tracer(args)
+    telemetry = _make_telemetry(args)
     result = web_kill_experiment(
         platform=args.platform, scale=args.scale, victim=args.victim,
         plan=plan, concurrency=args.concurrency, duration=args.duration,
         warmup=args.duration / 4, kill_at=args.kill_at,
-        repair_s=args.repair_after, seed=args.seed, trace=tracer)
+        repair_s=args.repair_after, seed=args.seed, trace=tracer,
+        telemetry=telemetry)
     _export_trace(tracer, args)
+    _export_telemetry(telemetry, args)
     base, fault = result.baseline, result.faulted
     print(format_table(
         ("metric", "baseline", "faulted"),
@@ -166,11 +229,14 @@ def _cmd_chaos_job(args) -> int:
     from .faults import job_kill_experiment
     plan = _load_fault_plan(args)
     tracer = _make_tracer(args)
+    telemetry = _make_telemetry(args)
     result = job_kill_experiment(
         job=args.name, platform=args.platform, slaves=args.slaves,
         victim=args.victim, plan=plan, kill_at=args.kill_at,
-        repair_s=args.repair_after, seed=args.seed, trace=tracer)
+        repair_s=args.repair_after, seed=args.seed, trace=tracer,
+        telemetry=telemetry)
     _export_trace(tracer, args)
+    _export_telemetry(telemetry, args)
     rows = [("baseline", f"{result.baseline.seconds:.0f}s / "
                          f"{result.baseline.joules:.0f}J")]
     if result.completed:
@@ -189,6 +255,26 @@ def _cmd_chaos_job(args) -> int:
     for line in result.availability.lines():
         print(line)
     return 0 if result.completed else 1
+
+
+def _cmd_report(args) -> int:
+    from .telemetry import (load_bundle, summary_lines, write_dashboard,
+                            write_prometheus)
+    try:
+        bundle = load_bundle(args.bundle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    for line in summary_lines(bundle):
+        print(line)
+    if args.html:
+        _check_parent_dir("--html", args.html)
+        write_dashboard(bundle, args.html)
+        print(f"dashboard -> {args.html}")
+    if args.prom:
+        _check_parent_dir("--prom", args.prom)
+        write_prometheus(bundle, args.prom)
+        print(f"prometheus exposition -> {args.prom}")
+    return 0
 
 
 def _cmd_table2(args) -> int:
@@ -304,6 +390,17 @@ def _cmd_microbench(args) -> int:
     return 0
 
 
+def _add_observability_flags(parser) -> None:
+    """``--telemetry`` and ``--metrics``, shared by the run subcommands."""
+    parser.add_argument("--telemetry", metavar="PATH",
+                        help="attach monitoring scrapers + the stock alert "
+                             "rules; write the telemetry bundle (JSON) to "
+                             "PATH after the run")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="write the run's aggregated metrics "
+                             "(counters/gauges/histograms) to PATH as JSON")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -329,6 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
     web.add_argument("--fault-plan", metavar="FILE",
                      help="inject the faults in this JSON plan "
                           "(see repro.faults.FaultPlan)")
+    _add_observability_flags(web)
     web.set_defaults(func=_cmd_web)
 
     job = sub.add_parser("job", help="run one MapReduce job")
@@ -342,6 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     job.add_argument("--fault-plan", metavar="FILE",
                      help="inject the faults in this JSON plan "
                           "(see repro.faults.FaultPlan)")
+    _add_observability_flags(job)
     job.set_defaults(func=_cmd_job)
 
     chaos = sub.add_parser(
@@ -367,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
     cweb.add_argument("--trace", metavar="PATH",
                       help="write a Chrome/Perfetto trace of the faulted "
                            "run to PATH")
+    _add_observability_flags(cweb)
     cweb.set_defaults(func=_cmd_chaos_web)
     cjob = chaos_sub.add_parser(
         "job", help="kill a Hadoop slave mid-job vs a clean run")
@@ -386,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
     cjob.add_argument("--trace", metavar="PATH",
                       help="write a Chrome/Perfetto trace of the faulted "
                            "run to PATH")
+    _add_observability_flags(cjob)
     cjob.set_defaults(func=_cmd_chaos_job)
 
     sub.add_parser("table2", help="capacity estimate") \
@@ -405,6 +506,16 @@ def build_parser() -> argparse.ArgumentParser:
     hist.add_argument("--rate", type=float, default=6000.0)
     hist.add_argument("--duration", type=float, default=6.0)
     hist.set_defaults(func=_cmd_histogram)
+
+    report = sub.add_parser(
+        "report", help="summarise a saved telemetry bundle")
+    report.add_argument("bundle", metavar="BUNDLE",
+                        help="telemetry JSON written by --telemetry")
+    report.add_argument("--html", metavar="PATH",
+                        help="render a self-contained HTML dashboard")
+    report.add_argument("--prom", metavar="PATH",
+                        help="write Prometheus text exposition")
+    report.set_defaults(func=_cmd_report)
 
     sub.add_parser("microbench", help="Section 4 single-server tests") \
         .set_defaults(func=_cmd_microbench)

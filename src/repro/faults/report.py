@@ -95,13 +95,15 @@ def web_kill_experiment(platform: str = "edison", scale: str = "full",
                         repair_s: Optional[float] = None,
                         seed: int = 20160901,
                         detection_s: float = 0.25,
-                        trace=None) -> WebChaosResult:
+                        trace=None, telemetry=None) -> WebChaosResult:
     """Run one concurrency level twice: fault-free, then under ``plan``.
 
     Without an explicit ``plan``, ``victim`` (default: the first web
     server) is killed at ``kill_at`` and repaired after ``repair_s``
     (default: never within the run).  Both runs use the same seed, so
-    the only difference is the injected faults.
+    the only difference is the injected faults.  A
+    :class:`repro.telemetry.Telemetry` passed as ``telemetry`` monitors
+    the faulted run (the one whose detection latency is interesting).
     """
     from ..web import WebServiceDeployment   # deferred: import cycle
     baseline_dep = WebServiceDeployment(platform, scale, seed=seed)
@@ -111,6 +113,8 @@ def web_kill_experiment(platform: str = "edison", scale: str = "full",
     if plan is None:
         victim = victim or dep.web_nodes[0].server.name
         plan = single_node_kill(victim, kill_at, repair_s)
+    if telemetry is not None:
+        telemetry.attach_web(dep)
     injector = dep.attach_faults(plan, detection_s=detection_s)
     faulted = dep.run_level(concurrency, duration=duration, warmup=warmup)
     window = duration - warmup
@@ -174,12 +178,12 @@ def job_kill_experiment(job: str = "wordcount", platform: str = "edison",
                         seed: int = 20160901,
                         detection_s: float = 0.25,
                         deadline_s: float = 100_000.0,
-                        trace=None) -> JobChaosResult:
+                        trace=None, telemetry=None) -> JobChaosResult:
     """Run one Table 8 job twice: fault-free, then under ``plan``.
 
     Without an explicit ``plan``, ``victim`` (default: the first slave)
     crashes at ``kill_at`` and is repaired after ``repair_s`` (default:
-    never within the run).
+    never within the run).  ``telemetry`` monitors the faulted run.
     """
     from ..mapreduce import JOB_FACTORIES, JobRunner  # deferred: cycle
     from ..mapreduce.runtime import JobFailed
@@ -191,6 +195,8 @@ def job_kill_experiment(job: str = "wordcount", platform: str = "edison",
     if plan is None:
         victim = victim or runner.slave_servers[0].name
         plan = single_node_kill(victim, kill_at, repair_s)
+    if telemetry is not None:
+        telemetry.attach_job(runner)
     injector = FaultInjector(runner.cluster, plan, detection_s=detection_s)
     completed = True
     faulted: Optional[object] = None

@@ -48,6 +48,22 @@ class Server:
 
     # -- utilisation probing -------------------------------------------
 
+    def utilization_now(self) -> Dict[str, float]:
+        """Instantaneous per-component utilisation, as a pure read.
+
+        Unlike :meth:`utilization_window` this does **not** advance the
+        probe window, so any number of observers (telemetry scrapers,
+        debuggers) may call it without perturbing the power meter's
+        windowed averages — attaching monitoring must never change the
+        energy numbers it is monitoring.
+        """
+        return {
+            "cpu": self.cpu.utilization(),
+            "mem": self.memory.utilization(),
+            "disk": self.storage.utilization(),
+            "net": self.nic.utilization(),
+        }
+
     def utilization_window(self) -> Dict[str, float]:
         """Mean per-component utilisation since the previous call.
 
@@ -62,12 +78,7 @@ class Server:
         disk_busy = self.storage.channel.busy_time()
         nic_bytes = self.nic.total_bytes
         if dt <= 0:
-            window = {
-                "cpu": self.cpu.utilization(),
-                "mem": self.memory.utilization(),
-                "disk": self.storage.utilization(),
-                "net": self.nic.utilization(),
-            }
+            window = self.utilization_now()
         else:
             nic_rate = (nic_bytes - self._probe_nic_bytes) / dt
             window = {

@@ -8,7 +8,8 @@ simulation.
 
 from __future__ import annotations
 
-from bisect import bisect_right
+import math
+from bisect import bisect_left, bisect_right
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from .kernel import Simulation
@@ -70,6 +71,90 @@ class TimeSeries:
     def pairs(self) -> Sequence[Tuple[float, float]]:
         """The trace as a list of ``(time, value)`` tuples."""
         return list(zip(self.times, self.values))
+
+    # -- query helpers (the TSDB in repro.telemetry builds on these) ------
+
+    def _window_start(self, window_s: Optional[float],
+                      now: Optional[float]) -> Tuple[int, float]:
+        """First sample index inside the trailing window, and its end."""
+        if not self.times:
+            raise ValueError(f"series {self.name!r} is empty")
+        end = self.times[-1] if now is None else now
+        if window_s is None:
+            return 0, end
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        return bisect_left(self.times, end - window_s), end
+
+    def rate(self, window_s: Optional[float] = None,
+             now: Optional[float] = None) -> float:
+        """Per-second increase over the trailing window, reset-aware.
+
+        Treats the series as a cumulative counter the way PromQL's
+        ``rate()`` does: a decrease is a counter reset and contributes
+        the post-reset value.  ``now`` anchors the window end (default:
+        the last sample).  Returns 0.0 when fewer than two samples fall
+        inside the window; raises on an empty series.
+        """
+        first, _end = self._window_start(window_s, now)
+        times = self.times[first:]
+        values = self.values[first:]
+        if len(times) < 2:
+            return 0.0
+        elapsed = times[-1] - times[0]
+        if elapsed <= 0:
+            return 0.0
+        increase = 0.0
+        for i in range(1, len(values)):
+            delta = values[i] - values[i - 1]
+            increase += values[i] if delta < 0 else delta
+        return increase / elapsed
+
+    def avg_over_time(self, window_s: Optional[float] = None,
+                      now: Optional[float] = None) -> Optional[float]:
+        """Unweighted mean of the samples in the trailing window.
+
+        Returns ``None`` when the window holds no samples (a stale
+        series queried against a later ``now``); raises on an empty
+        series.
+        """
+        first, _end = self._window_start(window_s, now)
+        values = self.values[first:]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def max_over_time(self, window_s: Optional[float] = None,
+                      now: Optional[float] = None) -> Optional[float]:
+        """Largest sample in the trailing window (None when empty)."""
+        first, _end = self._window_start(window_s, now)
+        values = self.values[first:]
+        return max(values) if values else None
+
+    def resample(self, step: float, start: Optional[float] = None,
+                 end: Optional[float] = None) -> "TimeSeries":
+        """Zero-order-hold samples aligned to multiples of ``step``.
+
+        Grid points are the integer multiples of ``step`` between the
+        first sample (or ``start``) and the last sample (or ``end``);
+        each carries the most recent value at or before it, so two
+        series resampled with the same step land on a shared timeline —
+        the alignment the dashboard and the rules engine rely on.
+        Raises on an empty series or a non-positive step.
+        """
+        if step <= 0:
+            raise ValueError(f"step must be > 0, got {step}")
+        if not self.times:
+            raise ValueError(f"series {self.name!r} is empty")
+        lo = self.times[0] if start is None else max(start, self.times[0])
+        hi = self.times[-1] if end is None else end
+        out = TimeSeries(self.name)
+        # Integer grid indices avoid floating-point drift across steps.
+        for k in range(math.ceil(lo / step - 1e-9),
+                       math.floor(hi / step + 1e-9) + 1):
+            t = k * step
+            out.record(t, self.at(t))
+        return out
 
 
 def periodic_sampler(sim: Simulation, interval: float,

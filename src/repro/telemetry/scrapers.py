@@ -1,0 +1,277 @@
+"""Per-node scrape agents and the :class:`Telemetry` facade.
+
+Each simulated node gets a :class:`NodeAgent` — the stand-in for a
+node_exporter/collectd daemon — running as a simulation process that
+periodically samples that node's state into the shared
+:class:`~repro.telemetry.tsdb.TimeSeriesDB`:
+
+* hardware utilisation (CPU/memory/disk/NIC) and instantaneous power,
+* CPU run-queue depth,
+* web-tier counters (connections, in-flight calls, requests, errors,
+  delays) when the node hosts a web server,
+* YARN container memory occupancy when the node runs a NodeManager,
+* a heartbeat ``up`` series whose *absence* is how node death is
+  detected.
+
+Scrapes are pure reads.  Agents never draw random numbers, never
+acquire simulated resources, and probe utilisation through
+:meth:`~repro.hardware.server.Server.utilization_now` (which does not
+advance the power meter's probe windows), so attaching telemetry to a
+run leaves its results bit-identical — the monitoring plane observes
+the experiment without becoming part of it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..trace.metrics import MetricsRegistry
+from .rules import AlertManager
+from .slo import DetectionReport, SloReport, SloSpec
+from .tsdb import TimeSeriesDB
+
+#: Default scrape cadence: matches the web meter's 0.25 s sampling.
+DEFAULT_INTERVAL = 0.25
+
+
+class NodeAgent:
+    """The per-node scraper; one instance per simulated server."""
+
+    def __init__(self, telemetry: "Telemetry", server,
+                 web_node=None, node_manager=None):
+        self.telemetry = telemetry
+        self.server = server
+        self.node = server.name
+        self.web_node = web_node
+        self.node_manager = node_manager
+        self.samples = 0
+        # High-water mark into the web node's append-only call log, so
+        # each scrape only walks records that arrived since the last.
+        self._record_index = 0
+        self._errors = 0
+
+    def run(self, sim, until: Optional[float] = None):
+        """Process generator: scrape every ``telemetry.interval``."""
+        interval = self.telemetry.interval
+        while until is None or sim.now <= until:
+            faults = sim.faults
+            if faults is None or faults.is_up(self.node):
+                self.scrape(sim.now)
+            yield sim.timeout(interval)
+
+    def scrape(self, now: float) -> None:
+        """Take one sample set.  Pure reads only — see module docstring."""
+        db = self.telemetry.db
+        node = self.node
+        self.samples += 1
+        db.record(now, "up", 1.0, node=node)
+        utilization = self.server.utilization_now()
+        db.record(now, "node_cpu_utilization", utilization["cpu"], node=node)
+        db.record(now, "node_mem_utilization", utilization["mem"], node=node)
+        db.record(now, "node_disk_utilization", utilization["disk"],
+                  node=node)
+        db.record(now, "node_net_utilization", utilization["net"], node=node)
+        db.record(now, "cpu_queue_depth",
+                  float(self.server.cpu.vcores.queue_length), node=node)
+        db.record(now, "node_power_w",
+                  self.server.spec.power.power(utilization), node=node)
+        if self.web_node is not None:
+            self._scrape_web(now, db, node)
+        if self.node_manager is not None:
+            nm = self.node_manager
+            db.record(now, "yarn_container_mem_mb",
+                      float(nm.total_mem_mb - nm.free_mem_mb), node=node)
+
+    def _scrape_web(self, now: float, db: TimeSeriesDB, node: str) -> None:
+        web = self.web_node
+        db.record(now, "web_connections", float(web.established), node=node)
+        db.record(now, "web_active_calls", float(web.active_calls),
+                  node=node)
+        db.record(now, "web_syn_drops_total", float(web.syn_drops),
+                  node=node)
+        # Walk only the records appended since the previous scrape; the
+        # log is append-only (reboots bump the epoch, not the list).
+        fresh = web.records[self._record_index:]
+        self._record_index = len(web.records)
+        delays = []
+        histogram = self.telemetry.metrics.histogram("web.delay_s")
+        for record in fresh:
+            if record.ok:
+                delays.append(record.total_s)
+                histogram.observe(record.total_s)
+            else:
+                self._errors += 1
+        db.record(now, "web_requests_total", float(self._record_index),
+                  node=node)
+        db.record(now, "web_errors_total", float(self._errors), node=node)
+        if delays:
+            db.record(now, "web_mean_delay_s",
+                      sum(delays) / len(delays), node=node)
+
+
+class ClusterAgent:
+    """Cluster-wide scraper: mirrors the power meter and alive count."""
+
+    def __init__(self, telemetry: "Telemetry", cluster, meter=None):
+        self.telemetry = telemetry
+        self.cluster = cluster
+        self.meter = meter
+
+    def run(self, sim, until: Optional[float] = None):
+        interval = self.telemetry.interval
+        db = self.telemetry.db
+        while until is None or sim.now <= until:
+            faults = sim.faults
+            names = list(self.cluster.servers)
+            alive = sum(1 for n in names
+                        if faults is None or faults.is_up(n))
+            db.record(sim.now, "cluster_nodes_up", float(alive))
+            if self.meter is not None and self.meter.series.times:
+                # Re-publish the meter's latest reading rather than
+                # re-probing: probing would advance the utilisation
+                # windows the meter itself depends on.
+                db.record(sim.now, "cluster_power_w",
+                          self.meter.series.values[-1])
+            yield sim.timeout(interval)
+
+
+class Telemetry:
+    """The monitoring plane for one run: scrapers + TSDB + alerting.
+
+    Construct one, attach it to a deployment or job runner *before*
+    running, then read reports afterwards::
+
+        telemetry = Telemetry(rules=default_rules())
+        deployment = WebServiceDeployment("edison", "1/8", seed=3)
+        telemetry.attach_web(deployment)
+        result = deployment.run_level(64, duration=3.0)
+        print(*telemetry.slo_report().lines(), sep="\\n")
+
+    With no rules the attachment is observation-only and the run's
+    results are bit-identical to an unmonitored run (asserted by
+    ``tests/test_telemetry_invariance.py``).
+    """
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL, rules=(),
+                 slo: Optional[SloSpec] = None,
+                 retention_samples: Optional[int] = None,
+                 eval_interval: Optional[float] = None):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.interval = interval
+        self.db = TimeSeriesDB(retention_samples=retention_samples)
+        self.metrics = MetricsRegistry()
+        self.slo = slo if slo is not None else SloSpec()
+        rules = list(rules)
+        self.alerts = AlertManager(
+            self.db, rules,
+            interval=eval_interval if eval_interval is not None
+            else interval)
+        self.sim = None
+        self.agents: List[NodeAgent] = []
+        self.meta: Dict[str, object] = {}
+
+    # -- attachment ------------------------------------------------------
+
+    def attach_web(self, deployment, until: Optional[float] = None) -> None:
+        """Monitor a :class:`~repro.web.WebServiceDeployment`."""
+        web_by_server = {web.server.name: web
+                         for web in deployment.web_nodes}
+        self.meta.update(kind="web", platform=deployment.platform,
+                         scale=deployment.scale)
+        self._attach(deployment.sim, deployment.cluster,
+                     web_by_server=web_by_server,
+                     meter=deployment.meter, until=until)
+
+    def attach_job(self, runner, until: Optional[float] = None) -> None:
+        """Monitor a :class:`~repro.mapreduce.JobRunner`."""
+        self.meta.update(kind="job", platform=runner.platform)
+        self._attach(runner.sim, runner.cluster,
+                     yarn_nodes=runner.yarn.nodes,
+                     meter=runner.meter, until=until)
+
+    def _attach(self, sim, cluster, web_by_server=None, yarn_nodes=None,
+                meter=None, until: Optional[float] = None) -> None:
+        if self.sim is not None:
+            raise RuntimeError("telemetry is already attached to a run")
+        self.sim = sim
+        self.alerts.trace = sim.trace
+        web_by_server = web_by_server or {}
+        yarn_nodes = yarn_nodes or {}
+        for name, server in cluster.servers.items():
+            agent = NodeAgent(self, server,
+                              web_node=web_by_server.get(name),
+                              node_manager=yarn_nodes.get(name))
+            self.agents.append(agent)
+            sim.process(agent.run(sim, until=until),
+                        name=f"telemetry-agent-{name}")
+        cluster_agent = ClusterAgent(self, cluster, meter=meter)
+        sim.process(cluster_agent.run(sim, until=until),
+                    name="telemetry-cluster")
+        if self.alerts.rules:
+            sim.process(self.alerts.run(sim, until=until),
+                        name="telemetry-alerts")
+
+    # -- reports ---------------------------------------------------------
+
+    def slo_report(self) -> SloReport:
+        """Availability + latency SLO accounting for the observed run."""
+        requests = 0
+        errors = 0
+        for _labels, series in self.db.select("web_requests_total"):
+            if series.values:
+                requests += int(series.values[-1])
+        for _labels, series in self.db.select("web_errors_total"):
+            if series.values:
+                errors += int(series.values[-1])
+        histogram = self.metrics.histogram("web.delay_s")
+        p95 = histogram.percentile(95.0) if histogram.count else None
+        return SloReport(spec=self.slo, requests=requests, errors=errors,
+                         p95_s=p95)
+
+    def detection_report(self) -> DetectionReport:
+        """Alert firings scored against the injector's ground truth."""
+        records = []
+        if self.sim is not None and self.sim.faults is not None:
+            records = self.sim.faults.records
+        return DetectionReport.match(records, self.alerts.history)
+
+    # -- persistence -----------------------------------------------------
+
+    def bundle(self, meta: Optional[Dict] = None) -> Dict:
+        """The whole monitored run as one JSON-friendly dict."""
+        merged = dict(self.meta)
+        if meta:
+            merged.update(meta)
+        slo = self.slo_report()
+        detection = self.detection_report()
+        return {
+            "meta": merged,
+            "series": self.db.to_dicts(),
+            "alerts": [a.to_dict() for a in self.alerts.history],
+            "slo": slo.to_dict(),
+            "detection": detection.to_dict(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def save(self, path: str, meta: Optional[Dict] = None) -> None:
+        """Write the telemetry bundle to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.bundle(meta), handle, indent=1)
+
+    def alert_lines(self) -> List[str]:
+        """Human-readable alert history for CLI summaries."""
+        if not self.alerts.history:
+            return ["Alerts: none fired"]
+        out = [f"Alerts ({len(self.alerts.history)} fired)"]
+        for alert in self.alerts.history:
+            where = f" on {alert.node}" if alert.node else ""
+            if alert.resolved_at is None:
+                out.append(f"  {alert.rule}{where}: fired "
+                           f"t={alert.fired_at:.2f}s, still active")
+            else:
+                out.append(f"  {alert.rule}{where}: fired "
+                           f"t={alert.fired_at:.2f}s, resolved "
+                           f"t={alert.resolved_at:.2f}s")
+        return out

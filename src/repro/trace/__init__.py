@@ -27,15 +27,15 @@ from .analysis import (TraceDecomposition, delay_decomposition_from_trace,
                        span_time_by_name)
 from .events import (PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN, TraceEvent,
                      TraceLog)
-from .export import to_chrome_trace, write_chrome_trace, write_csv, \
-    write_jsonl
+from .export import read_csv, read_jsonl, to_chrome_trace, \
+    write_chrome_trace, write_csv, write_jsonl
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .spans import Tracer
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "PHASE_COUNTER",
     "PHASE_INSTANT", "PHASE_SPAN", "TraceDecomposition", "TraceEvent",
-    "TraceLog", "Tracer", "delay_decomposition_from_trace",
-    "span_time_by_name", "to_chrome_trace", "write_chrome_trace",
-    "write_csv", "write_jsonl",
+    "TraceLog", "Tracer", "delay_decomposition_from_trace", "read_csv",
+    "read_jsonl", "span_time_by_name", "to_chrome_trace",
+    "write_chrome_trace", "write_csv", "write_jsonl",
 ]

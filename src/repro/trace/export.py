@@ -6,6 +6,13 @@ the Chrome trace-event format, loadable in Perfetto
 ("X") events, instants become "i", counter samples become "C", and each
 simulated node gets its own named thread track.  Timestamps are emitted
 in microseconds as the format requires.
+
+The JSONL and CSV forms round-trip: :func:`read_jsonl` and
+:func:`read_csv` re-parse what :func:`write_jsonl` / :func:`write_csv`
+wrote into an equivalent :class:`TraceLog` — timestamps and durations
+exactly (CSV stores them as ``repr`` so no precision is lost), which is
+what lets offline tooling post-process exported traces without access
+to the run.
 """
 
 from __future__ import annotations
@@ -96,3 +103,38 @@ def _event_dict(event: TraceEvent) -> Dict:
     return {"ts": event.ts, "dur": event.dur, "phase": event.phase,
             "category": event.category, "name": event.name,
             "node": event.node, "attrs": dict(event.attrs)}
+
+
+def read_jsonl(path: str) -> TraceLog:
+    """Re-parse a :func:`write_jsonl` file into a fresh TraceLog."""
+    log = TraceLog()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            log.append(TraceEvent(
+                ts=data["ts"], dur=data["dur"], phase=data["phase"],
+                category=data["category"], name=data["name"],
+                node=data["node"], attrs=dict(data["attrs"])))
+    return log
+
+
+def read_csv(path: str) -> TraceLog:
+    """Re-parse a :func:`write_csv` file into a fresh TraceLog."""
+    log = TraceLog()
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["ts", "dur", "phase", "category", "name", "node",
+                      "attrs"]:
+            raise ValueError(f"{path}: not a repro trace CSV "
+                             f"(header {header!r})")
+        for row in reader:
+            ts, dur, phase, category, name, node, attrs = row
+            log.append(TraceEvent(
+                ts=float(ts), dur=float(dur), phase=phase,
+                category=category, name=name, node=node,
+                attrs=json.loads(attrs)))
+    return log

@@ -25,10 +25,17 @@ from typing import Any, Dict, Iterable, Optional
 
 from .events import (PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN, TraceEvent,
                      TraceLog)
+from .metrics import MetricsRegistry
 
 
 class Tracer:
     """Stamps and emits trace events against one simulation's clock.
+
+    Every emission also feeds the tracer's :class:`MetricsRegistry`, so
+    a traced run ends with ready-made aggregates (span-duration
+    histograms, event counts, latest counter values) that the CLI's
+    ``--metrics`` flag dumps as JSON — metrics ride the same event
+    stream the trace does, with no second instrumentation pass.
 
     Parameters
     ----------
@@ -38,13 +45,17 @@ class Tracer:
     categories, max_events:
         Convenience pass-through to the created log (ignored when an
         explicit ``log`` is given).
+    metrics:
+        The registry fed by emissions; a fresh one when omitted.
     """
 
     def __init__(self, log: Optional[TraceLog] = None,
                  categories: Optional[Iterable[str]] = None,
-                 max_events: Optional[int] = None):
+                 max_events: Optional[int] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.log = log if log is not None else TraceLog(
             max_events=max_events, categories=categories)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._sim = None
         self._next_id = 0
         # Per-process span stacks: active-process id -> [span ids].
@@ -77,6 +88,7 @@ class Tracer:
     def instant(self, name: str, category: str = "event", node: str = "",
                 **attrs: Any) -> None:
         """Emit a point-in-time marker at the current clock."""
+        self.metrics.counter(f"{name}.count").inc()
         self.log.append(TraceEvent(
             ts=self.now, category=category, name=name, node=node,
             attrs=attrs, phase=PHASE_INSTANT))
@@ -84,6 +96,7 @@ class Tracer:
     def counter(self, name: str, value: float, category: str = "counter",
                 node: str = "", **attrs: Any) -> None:
         """Emit one sample of a numeric counter/gauge."""
+        self.metrics.gauge(name).set(value)
         attrs["value"] = value
         self.log.append(TraceEvent(
             ts=self.now, category=category, name=name, node=node,
@@ -96,6 +109,8 @@ class Tracer:
         if start > now:
             raise ValueError(f"span start {start} lies in the future "
                              f"(now={now})")
+        self.metrics.counter(f"{name}.count").inc()
+        self.metrics.histogram(f"{name}.duration_s").observe(now - start)
         self.log.append(TraceEvent(
             ts=start, category=category, name=name, node=node,
             attrs=attrs, phase=PHASE_SPAN, dur=now - start))

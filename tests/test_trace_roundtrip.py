@@ -1,0 +1,88 @@
+"""Round-trip tests for the JSONL and CSV trace exporters.
+
+The contract under test: a file written by ``write_jsonl``/``write_csv``
+and re-parsed by ``read_jsonl``/``read_csv`` reproduces the original
+event stream — same count, names, categories, phases, nodes and exact
+(bit-for-bit) timestamps and durations.
+"""
+
+import pytest
+
+from repro.trace import (TraceEvent, TraceLog, Tracer, read_csv, read_jsonl,
+                         write_csv, write_jsonl)
+from repro.web import WebServiceDeployment
+
+
+def traced_web_run():
+    tracer = Tracer()
+    deployment = WebServiceDeployment("edison", "1/8", seed=11, trace=tracer)
+    deployment.run_level(16, duration=1.0, warmup=0.25)
+    assert len(tracer.log) > 100   # a real, busy event stream
+    return tracer.log
+
+
+def assert_logs_equal(original: TraceLog, parsed: TraceLog):
+    assert len(parsed) == len(original)
+    for ours, theirs in zip(original, parsed):
+        assert theirs.name == ours.name
+        assert theirs.category == ours.category
+        assert theirs.phase == ours.phase
+        assert theirs.node == ours.node
+        # Bit-exact, not approximate: repr/JSON round-trip floats.
+        assert theirs.ts == ours.ts
+        assert theirs.dur == ours.dur
+        assert theirs.attrs == ours.attrs
+
+
+def test_jsonl_roundtrip_real_run(tmp_path):
+    log = traced_web_run()
+    path = str(tmp_path / "trace.jsonl")
+    write_jsonl(log, path)
+    assert_logs_equal(log, read_jsonl(path))
+
+
+def test_csv_roundtrip_real_run(tmp_path):
+    log = traced_web_run()
+    path = str(tmp_path / "trace.csv")
+    write_csv(log, path)
+    assert_logs_equal(log, read_csv(path))
+
+
+def test_csv_roundtrip_awkward_values(tmp_path):
+    # Timestamps that don't have short decimal forms, attrs with quotes
+    # and commas — the cases naive CSV handling corrupts.
+    log = TraceLog()
+    log.append(TraceEvent(ts=1.0 / 3.0, dur=0.1 + 0.2, phase="X",
+                          category="c", name="a,b", node="n\"q",
+                          attrs={"k": "v,w", "n": 1e-17}))
+    log.append(TraceEvent(ts=2.0 / 3.0, phase="i", category="c",
+                          name="plain", node=""))
+    path = str(tmp_path / "trace.csv")
+    write_csv(log, path)
+    assert_logs_equal(log, read_csv(path))
+
+
+def test_jsonl_roundtrip_awkward_values(tmp_path):
+    log = TraceLog()
+    log.append(TraceEvent(ts=1.0 / 3.0, dur=0.30000000000000004, phase="X",
+                          category="c", name="weird é", node="n0",
+                          attrs={"nested": {"a": [1, 2]}}))
+    path = str(tmp_path / "trace.jsonl")
+    write_jsonl(log, path)
+    assert_logs_equal(log, read_jsonl(path))
+
+
+def test_read_csv_rejects_foreign_file(tmp_path):
+    path = tmp_path / "other.csv"
+    path.write_text("a,b,c\n1,2,3\n")
+    with pytest.raises(ValueError):
+        read_csv(str(path))
+
+
+def test_read_jsonl_skips_blank_lines(tmp_path):
+    log = TraceLog()
+    log.append(TraceEvent(ts=0.5, phase="i", category="c", name="x"))
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(log, str(path))
+    path.write_text(path.read_text() + "\n\n")
+    assert len(read_jsonl(str(path))) == 1
