@@ -1,0 +1,72 @@
+"""Kernel-scale benchmark: event throughput plus fidelity invariants.
+
+Unlike the paper-facing benches, this one watches the simulator itself.
+It reruns the headline cells of the committed ``BENCH_kernel_scale.json``
+sweep (70-node web level, 4-slave Terasort) and checks the two
+machine-independent properties the perf work must preserve:
+
+* the fidelity digest — the complete simulated result, bit for bit —
+  matches the committed baseline (results are seed-deterministic, so
+  this holds on any host), and
+* tracing is observation-only: a traced run and an untraced run of the
+  same level produce identical results.
+
+Throughput (events/s) is printed beside the recorded numbers for the
+report but never asserted — CI hardware varies.
+"""
+
+import json
+import os
+
+from repro import perf
+from repro.trace import Tracer
+
+from _util import emit, quick_mode, run_once
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "BENCH_kernel_scale.json")
+
+
+def _jsonify(value):
+    """Normalise tuples/keys the way a JSON round-trip would."""
+    return json.loads(json.dumps(value))
+
+
+def _headline_cells():
+    cells = {("web_scale", "70"): perf.measure_web_level("48x22", 192)}
+    if not quick_mode():
+        cells["terasort", "4"] = perf.measure_terasort(4)
+    return cells
+
+
+def bench_kernel_scale(benchmark):
+    cells = run_once(benchmark, _headline_cells)
+    with open(BASELINE) as handle:
+        recorded = json.load(handle)["post"]
+    lines = []
+    for (section, cell), sample in cells.items():
+        base = recorded[section][cell]
+        assert _jsonify(sample.digest) == base["digest"], (
+            f"{section}/{cell}: simulated results diverged from the "
+            "committed baseline digest")
+        assert sample.processed > 0
+        assert sample.heap_peak < sample.processed
+        lines.append(
+            f"{section}/{cell}: {sample.events_per_s:,.0f} events/s "
+            f"({sample.wall_s:.2f}s wall) vs recorded "
+            f"{base['events_per_s']:,.0f} ({base['wall_s']:.2f}s)")
+    emit("\n".join(lines))
+
+
+def bench_tracing_is_observation_only(benchmark):
+    def both():
+        untraced = perf.measure_web_level("24x11", 96, duration=0.8)
+        traced = perf.measure_web_level("24x11", 96, duration=0.8,
+                                        trace=Tracer())
+        return untraced, traced
+
+    untraced, traced = run_once(benchmark, both)
+    assert untraced.digest == traced.digest, (
+        "attaching a tracer changed simulated results")
+    emit(f"traced run identical to untraced "
+         f"({untraced.processed:,} events)")

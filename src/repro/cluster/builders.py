@@ -51,6 +51,22 @@ def hadoop_cluster(sim: Simulation, platform: str, slaves: int,
     return cluster
 
 
+def parse_custom_scale(scale: str):
+    """Parse a ``"<web>x<cache>"`` layout spec, or ``None`` if not one.
+
+    Beyond the paper's Table 6 ladders, scalability studies (and the
+    kernel-scale benchmarks) drive layouts several times the paper's
+    35-node ceiling; ``"48x22"`` asks for 48 web and 22 cache servers.
+    """
+    parts = scale.split("x")
+    if len(parts) != 2 or not all(p.isdigit() for p in parts):
+        return None
+    web_count, cache_count = int(parts[0]), int(parts[1])
+    if web_count < 1 or cache_count < 1:
+        raise ValueError(f"custom scale {scale!r} needs >= 1 of each role")
+    return web_count, cache_count
+
+
 def web_cluster(sim: Simulation, platform: str, scale: str = "full",
                 edison_spec: ServerSpec = EDISON) -> Cluster:
     """The Section 5.1 web-service layouts (Table 6).
@@ -59,19 +75,30 @@ def web_cluster(sim: Simulation, platform: str, scale: str = "full",
     ``web-*`` and ``cache-*``.  The shared MySQL tier (2 extra Dell
     R620s, used by *both* platforms and excluded from the comparison)
     is added unmetered, as are the 8 client and 8 load-balancer hosts.
+
+    ``scale`` is a Table 6 ladder rung (``"full"``, ``"1/2"``, ...) or
+    a custom ``"<web>x<cache>"`` layout for beyond-paper scaling runs.
     """
-    if scale not in paper.T6_CLUSTERS:
-        raise ValueError(f"unknown scale {scale!r}; "
-                         f"choose from {sorted(paper.T6_CLUSTERS)}")
-    edison_web, edison_cache, dell_web, dell_cache = paper.T6_CLUSTERS[scale]
-    if platform == "edison":
-        web_count, cache_count, spec = edison_web, edison_cache, edison_spec
-    elif platform == "dell":
-        if dell_web is None:
-            raise ValueError(f"the paper has no Dell layout at scale {scale!r}")
-        web_count, cache_count, spec = dell_web, dell_cache, DELL_R620
-    else:
+    if platform not in ("edison", "dell"):
         raise ValueError(f"unknown platform {platform!r}")
+    custom = parse_custom_scale(scale)
+    if custom is not None:
+        web_count, cache_count = custom
+        spec = edison_spec if platform == "edison" else DELL_R620
+    elif scale not in paper.T6_CLUSTERS:
+        raise ValueError(f"unknown scale {scale!r}; choose from "
+                         f"{sorted(paper.T6_CLUSTERS)} or '<web>x<cache>'")
+    else:
+        edison_web, edison_cache, dell_web, dell_cache = \
+            paper.T6_CLUSTERS[scale]
+        if platform == "edison":
+            web_count, cache_count, spec = \
+                edison_web, edison_cache, edison_spec
+        else:
+            if dell_web is None:
+                raise ValueError(
+                    f"the paper has no Dell layout at scale {scale!r}")
+            web_count, cache_count, spec = dell_web, dell_cache, DELL_R620
     cluster = Cluster(sim, name=f"web-{platform}-{scale.replace('/', 'of')}")
     cluster.add_many(spec, web_count, prefix="web")
     cluster.add_many(spec, cache_count, prefix="cache")

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..sim import Resource, Simulation
+from ..sim import Request, Resource, Simulation
 
 
 @dataclass(frozen=True)
@@ -76,6 +76,11 @@ class Cpu:
         self.spec = spec
         self.name = name
         self.vcores = Resource(sim, capacity=spec.vcores, name=f"{name}.vcores")
+        # Flat copies of what execute() needs per burst: vcore_dmips is
+        # a computed property, too hot to re-derive per CPU burst.
+        self._cores = spec.cores
+        self._thread_dmips = spec.dmips_per_thread
+        self._loaded_dmips = spec.vcore_dmips
 
     def service_time(self, work_mi: float) -> float:
         """Seconds one vcore needs for ``work_mi`` MI at full machine load."""
@@ -105,10 +110,21 @@ class Cpu:
         """
         if work_mi < 0:
             raise ValueError(f"negative work {work_mi!r}")
-        with self.vcores.request() as grant:
+        # try/finally rather than the context-manager sugar: execute()
+        # runs once per simulated CPU burst, and __enter__/__exit__ are
+        # two extra calls per burst for the same release-on-interrupt
+        # guarantee.  rate_for() is likewise inlined against the live
+        # holder count.
+        vcores = self.vcores
+        grant = Request(vcores)
+        try:
             yield grant
-            rate = self.rate_for(self.vcores.count)
-            yield self.sim.timeout(work_mi / rate)
+            rate = (self._thread_dmips
+                    if len(vcores.users) <= self._cores
+                    else self._loaded_dmips)
+            yield work_mi / rate
+        finally:
+            vcores.release(grant)
 
     def utilization(self) -> float:
         """Instantaneous fraction of vcores that are busy."""

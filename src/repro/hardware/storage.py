@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..sim import Resource, Simulation
+from ..sim import Request, Resource, Simulation
 
 
 @dataclass(frozen=True)
@@ -65,6 +65,14 @@ class Storage:
         #: Fault-injection multiplier on device time (1.0 = healthy).
         #: Set by repro.faults during a disk_stall window.
         self.slowdown = 1.0
+        # (op, buffered) -> rate and op -> latency, flattened so the
+        # per-request path skips io_time()'s string dispatch.
+        self._rates = {("read", False): spec.read_bps,
+                       ("read", True): spec.buffered_read_bps,
+                       ("write", False): spec.write_bps,
+                       ("write", True): spec.buffered_write_bps}
+        self._latencies = {"read": spec.read_latency_s,
+                           "write": spec.write_latency_s}
 
     def io_time(self, op: str, nbytes: float, buffered: bool = False) -> float:
         """Seconds of device time for one request (latency + transfer)."""
@@ -73,12 +81,23 @@ class Storage:
         return self.spec.latency(op) + nbytes / self.spec.rate(op, buffered)
 
     def _io(self, op: str, nbytes: float, buffered: bool):
-        with self.channel.request() as grant:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        # try/finally instead of the context manager, and table lookups
+        # instead of io_time()'s string dispatch: _io runs once per
+        # simulated disk request, which MapReduce issues by the
+        # thousand (spills, merges, HDFS block reads).
+        channel = self.channel
+        grant = Request(channel)
+        try:
             yield grant
-            device_s = self.io_time(op, nbytes, buffered)
+            device_s = (self._latencies[op]
+                        + nbytes / self._rates[op, buffered])
             if self.slowdown != 1.0:   # exact no-op when healthy
                 device_s *= self.slowdown
-            yield self.sim.timeout(device_s)
+            yield device_s
+        finally:
+            channel.release(grant)
         if op == "read":
             self.bytes_read += nbytes
         else:

@@ -209,14 +209,14 @@ class JobRunner:
         Work is diced into slices so FIFO vcore queues approximate fair
         sharing across the containers the paper co-schedules per vcore.
         """
-        server = self.cluster.servers[node_name]
+        execute = self.cluster.servers[node_name].cpu.execute
         slice_mi = mi / C.CPU_SLICES
         for _ in range(C.CPU_SLICES):
-            yield from server.cpu.execute(slice_mi)
+            yield from execute(slice_mi)
 
     def _task_overhead(self, node_name: str, factor: float):
         """Container launch: wall floor plus JVM start CPU."""
-        yield self.sim.timeout(C.TASK_LAUNCH_S)
+        yield C.TASK_LAUNCH_S
         yield from self._cpu(node_name, C.JVM_START_MI * factor)
 
     # -- the job ------------------------------------------------------------
@@ -287,7 +287,7 @@ class JobRunner:
                 timeline.power_w.record(now, self.meter.series.values[-1])
                 timeline.cpu.record(now, self.meter.per_component["cpu"].values[-1])
                 timeline.mem.record(now, self.meter.per_component["mem"].values[-1])
-            yield self.sim.timeout(interval)
+            yield interval
 
     def _density(self, mem_mb: int, tasks: int) -> float:
         """Concurrent containers per vcore during one phase."""
@@ -318,7 +318,7 @@ class JobRunner:
     def _expire_and_recover(self, spec: JobSpec, state: "_JobState",
                             node: str, lost_files: List, counts: bool):
         """RM-side process: expire a silent NodeManager, re-run its maps."""
-        yield self.sim.timeout(NM_EXPIRY_HEARTBEATS * self.config.heartbeat_s)
+        yield NM_EXPIRY_HEARTBEATS * self.config.heartbeat_s
         faults = self.sim.faults
         if faults is not None and not faults.is_up(node):
             # Still silent after the liveness window: blacklist it.  (If
@@ -341,7 +341,7 @@ class JobRunner:
             self._density(spec.reduce_mem_mb, max(1, spec.reduce_tasks)))
         state.map_factor = map_factor
         # Application-master spin-up + job initialisation lead.
-        yield self.sim.timeout(C.ALLOC_LEAD_S[self.platform])
+        yield C.ALLOC_LEAD_S[self.platform]
         pool = _InputPool(input_files, self.rng.stream("am"))
         maps = [self.sim.process(
             self._map_task(spec, state, pool, map_factor),
@@ -485,7 +485,7 @@ class JobRunner:
         if out_bytes > 0:
             server = self.cluster.servers[node]
             yield from server.storage.write(out_bytes, buffered=True)
-        yield self.sim.timeout(C.TASK_COMMIT_S)
+        yield C.TASK_COMMIT_S
         yield from self.yarn.master_commit()
         return out_bytes
 
@@ -572,7 +572,7 @@ class JobRunner:
         out = input_bytes * spec.output_ratio
         if out > 0:
             yield from self.hdfs.write(node, out)
-        yield self.sim.timeout(C.TASK_COMMIT_S)
+        yield C.TASK_COMMIT_S
         yield from self.yarn.master_commit()
 
     def _trace_attempt(self, kind: str, node: str, start: float,
@@ -599,6 +599,13 @@ class JobRunner:
         total = 0.0
         for start in range(0, len(fetches), SHUFFLE_PARALLELISM):
             batch = fetches[start:start + SHUFFLE_PARALLELISM]
+            if len(batch) == 1:
+                # A lone leg needs no concurrency: run it inline and
+                # skip the process-spawn + AllOf event chain.
+                source, nbytes = batch[0]
+                total += nbytes
+                yield from self._fetch(source, node, nbytes)
+                continue
             legs = []
             for source, nbytes in batch:
                 total += nbytes

@@ -171,8 +171,7 @@ class YarnScheduler:
         heartbeats = 0
         while True:
             # Requests ride the next NM heartbeat (jittered).
-            yield self.sim.timeout(
-                self.rng.uniform(0.3, 1.0) * self.config.heartbeat_s)
+            yield self.rng.uniform(0.3, 1.0) * self.config.heartbeat_s
             if self.master is not None:
                 # The RM does real work per scheduling round; a weak
                 # master serialises every waiting request through its

@@ -40,9 +40,12 @@ class Segment:
     def __post_init__(self):
         if self.capacity_Bps <= 0:
             raise ValueError("segment capacity must be > 0")
-        #: Lazily-created FIFO queue used by the store-and-forward
-        #: message path (see Topology.message); fluid flows ignore it.
-        self.queue = None
+        #: Store-and-forward bookkeeping (see Topology.message): the
+        #: time until which the wire is serialising earlier messages.
+        #: Equivalent to a capacity-1 FIFO queue — each arrival starts
+        #: at max(now, busy_until) — without an Event per hop; fluid
+        #: flows ignore it.
+        self.busy_until = 0.0
 
     def __hash__(self):
         return id(self)
@@ -70,6 +73,7 @@ class FlowNetwork:
         self.flows: List[Flow] = []
         self._last_update = sim.now
         self._version = 0
+        self._wake = None
 
     # -- public API -----------------------------------------------------
 
@@ -186,6 +190,12 @@ class FlowNetwork:
     def _schedule_next_completion(self) -> None:
         self._version += 1
         version = self._version
+        if self._wake is not None:
+            # The wake-up belonging to the previous allocation is now
+            # stale; cancelling it keeps shuffle-heavy runs from
+            # accumulating one dead calendar entry per rate change.
+            self._wake.cancel()
+            self._wake = None
         horizon = min(
             ((f.remaining_bytes - COMPLETION_THRESHOLD_BYTES / 2)
              / f.rate_Bps
@@ -195,6 +205,7 @@ class FlowNetwork:
             return
         wake = self.sim.timeout(max(horizon, 0.0))
         wake.add_callback(lambda _ev: self._on_wake(version))
+        self._wake = wake
 
     def _on_wake(self, version: int) -> None:
         if version != self._version:

@@ -89,7 +89,7 @@ class TcpListener:
             if not self.backlog_full:
                 request = self.slots.request()
                 yield request
-                yield self.sim.timeout(rtt)  # SYN -> SYN/ACK -> ACK
+                yield rtt  # SYN -> SYN/ACK -> ACK
                 self.accepted += 1
                 stats.connect_delay = self.sim.now - start
                 return request, stats
@@ -98,7 +98,7 @@ class TcpListener:
                 stats.connect_delay = self.sim.now - start
                 raise ConnectTimeout(
                     f"{self.name}: SYN dropped {attempt + 1} times")
-            yield self.sim.timeout(retries[attempt])
+            yield retries[attempt]
             attempt += 1
             stats.syn_retries = attempt
 

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 
 from ..core import paperdata as paper
 from ..hardware.server import Server
-from ..sim import Resource, Simulation
+from ..sim import Simulation
 from .flows import FlowNetwork, Segment
 
 #: Capacity of the single uplink between the two rooms (bytes/s).
@@ -38,11 +38,21 @@ class Topology:
         trunk_Bps = trunk_bps / 8.0
         self.trunk_up = Segment("trunk.edison->dell", trunk_Bps)
         self.trunk_down = Segment("trunk.dell->edison", trunk_Bps)
+        # (src, dst) memo tables: the web tier calls rtt()/message() per
+        # request, and the answers never change once servers are added.
+        self._rtt_cache: Dict[tuple, float] = {}
+        self._path_cache: Dict[tuple, List[Segment]] = {}
+        # Fused (one-way latency, path) plan per (src, dst): message()
+        # is called once per request/reply and needs both answers.
+        self._msg_cache: Dict[tuple, tuple] = {}
 
     def add_server(self, server: Server, rack: Optional[str] = None) -> None:
         """Register ``server``; rack defaults to its platform's room."""
         if server.name in self._servers:
             raise ValueError(f"duplicate server name {server.name!r}")
+        self._rtt_cache.clear()
+        self._path_cache.clear()
+        self._msg_cache.clear()
         rack = rack or ("edison-room" if server.platform == "edison"
                         else "dell-room")
         line_Bps = server.nic.spec.bytes_per_second
@@ -70,25 +80,36 @@ class Topology:
 
     def path(self, src: str, dst: str) -> List[Segment]:
         """Segments a flow from ``src`` to ``dst`` must traverse."""
-        if src == dst:
-            return []  # loopback: no network segments involved
-        segments = [self._tx[src]]
-        if self._rack[src] != self._rack[dst]:
-            segments.append(self.trunk_down if self._rack[dst] == "edison-room"
-                            else self.trunk_up)
-        segments.append(self._rx[dst])
+        key = (src, dst)
+        segments = self._path_cache.get(key)
+        if segments is None:
+            if src == dst:
+                segments = []  # loopback: no network segments involved
+            else:
+                segments = [self._tx[src]]
+                if self._rack[src] != self._rack[dst]:
+                    segments.append(
+                        self.trunk_down if self._rack[dst] == "edison-room"
+                        else self.trunk_up)
+                segments.append(self._rx[dst])
+            self._path_cache[key] = segments
         return segments
 
     def rtt(self, src: str, dst: str) -> float:
         """Measured round-trip time between two servers (Section 4.4)."""
+        key = (src, dst)
+        cached = self._rtt_cache.get(key)
+        if cached is not None:
+            return cached
         if src == dst:
-            return 0.0
-        pair = tuple(sorted((self._servers[src].platform,
-                             self._servers[dst].platform)))
-        key = (pair[0], pair[1])
-        if key in paper.S44_RTT_S:
-            return paper.S44_RTT_S[key]
-        return paper.S44_RTT_S[("dell", "edison")]
+            value = 0.0
+        else:
+            pair = tuple(sorted((self._servers[src].platform,
+                                 self._servers[dst].platform)))
+            value = paper.S44_RTT_S.get((pair[0], pair[1]),
+                                        paper.S44_RTT_S[("dell", "edison")])
+        self._rtt_cache[key] = value
+        return value
 
     def one_way_latency(self, src: str, dst: str) -> float:
         """Half the measured RTT — per-direction propagation+switching."""
@@ -103,7 +124,7 @@ class Topology:
         """
         latency = self.one_way_latency(src, dst)
         if latency > 0:
-            yield self.sim.timeout(latency)
+            yield latency
         path = self.path(src, dst)
         if path:
             yield self.network.start_flow(path, nbytes)
@@ -126,18 +147,32 @@ class Topology:
         """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
-        latency = self.one_way_latency(src, dst)
+        sim = self.sim
+        plan = self._msg_cache.get((src, dst))
+        if plan is None:
+            plan = (self.one_way_latency(src, dst),
+                    tuple(self.path(src, dst)))
+            self._msg_cache[(src, dst)] = plan
+        latency, path = plan
         if latency > 0:
-            yield self.sim.timeout(latency)
-        for segment in self.path(src, dst):
-            if segment.queue is None:
-                segment.queue = Resource(self.sim, capacity=1,
-                                         name=f"{segment.name}.q")
-            with segment.queue.request() as grant:
-                yield grant
-                yield self.sim.timeout(nbytes / segment.capacity_Bps)
-            if segment.nic is not None:
+            yield latency
+        for segment in path:
+            # FIFO store-and-forward without a queue object: a message
+            # starts serialising when the wire frees up, so its
+            # departure is max(now, busy_until) + wire time — the exact
+            # recursion a capacity-1 FIFO resource computes, at one
+            # calendar event per hop instead of a grant/hold/release
+            # event chain per message.
+            now = sim._now
+            start = segment.busy_until
+            if start < now:
+                start = now
+            done = start + nbytes / segment.capacity_Bps
+            segment.busy_until = done
+            yield done - now
+            nic = segment.nic
+            if nic is not None:
                 if segment.nic_direction == "tx":
-                    segment.nic.bytes_sent += nbytes
+                    nic.bytes_sent += nbytes
                 else:
-                    segment.nic.bytes_received += nbytes
+                    nic.bytes_received += nbytes

@@ -6,6 +6,12 @@ popped event runs its callbacks.  Simulated entities are *processes* —
 plain Python generators that ``yield`` events (timeouts, resource requests,
 other processes) and are resumed when the yielded event fires.
 
+A process may also yield a bare ``float``/``int`` delay — shorthand for
+``Timeout(sim, delay)`` with identical semantics and ordering, but
+object-free: the calendar entry carries the process itself, so the hot
+paths (network hops, CPU bursts, device time) allocate no Event at all.
+Use a real :class:`Timeout` when the wait must be cancellable or shared.
+
 The design is intentionally close to the well-known SimPy API so the rest
 of the codebase reads naturally to anyone who has simulated systems
 before, but it is implemented here from scratch and trimmed to exactly
@@ -28,7 +34,9 @@ Example
 from __future__ import annotations
 
 import heapq
+from heapq import heappush
 from itertools import count
+from math import isfinite
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from .errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
@@ -42,19 +50,37 @@ URGENT = 0
 # Sentinel distinguishing "no value yet" from an event value of ``None``.
 _PENDING = object()
 
+#: Fresh events start with this shared immutable tuple instead of a new
+#: list: most events collect at most one callback, and the empty-list
+#: allocation (plus its GC tracking) is pure overhead for the hundreds
+#: of thousands of events a sweep creates.  The first real callback
+#: swaps in a list; ``callbacks is None`` still means "processed".
+_NO_CALLBACKS = ()
+
 
 class Event:
     """A happening that processes can wait on.
 
     An event starts *pending*, becomes *triggered* once scheduled with a
     value (or an exception), and *processed* after its callbacks ran.
+
+    Events are the unit the hot loop allocates by the hundred thousand,
+    so the whole hierarchy uses ``__slots__``: no per-instance dict, and
+    the flag fields (``_defused``, ``_cancelled``) are plain attributes
+    the kernel can read without ``getattr`` fallbacks.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused",
+                 "_cancelled")
 
     def __init__(self, sim: "Simulation"):
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = \
+            _NO_CALLBACKS
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
+        self._defused = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -82,11 +108,17 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self)
+        # _schedule inlined: succeed() fires once per grant/completion
+        # on every hot path, always at the current time.
+        sim = self.sim
+        heap = sim._heap
+        heappush(heap, (sim._now, NORMAL, next(sim._seq), self))
+        if len(heap) > sim._heap_peak:
+            sim._heap_peak = len(heap)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -102,11 +134,14 @@ class Event:
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Run ``callback(event)`` when the event is processed."""
-        if self.callbacks is None:
+        callbacks = self.callbacks
+        if callbacks is None:
             # Already processed: run immediately so late waiters still wake.
             callback(self)
+        elif callbacks is _NO_CALLBACKS:
+            self.callbacks = [callback]
         else:
-            self.callbacks.append(callback)
+            callbacks.append(callback)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self.processed else (
@@ -114,21 +149,66 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+# The value delivered to a process resumed from a plain-number yield.
+# A shared, inert, pre-processed Event: _resume() only reads ``_ok`` and
+# ``_value`` from it, so one immutable instance serves every wake.
+_DELAY_FIRED = Event.__new__(Event)
+_DELAY_FIRED.sim = None
+_DELAY_FIRED.callbacks = None
+_DELAY_FIRED._value = None
+_DELAY_FIRED._ok = True
+_DELAY_FIRED._defused = True
+_DELAY_FIRED._cancelled = False
+
+
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulation", delay: float, value: Any = None):
+        # Timeouts are the single most-allocated object in any sweep;
+        # this constructor inlines Event.__init__ and _schedule (one
+        # C-level heappush instead of two method calls per event).
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
+        if delay and not isfinite(delay):
+            # NaN eludes the < 0 test (every comparison is False) and
+            # poisons heap ordering; infinities wedge the calendar.
+            raise ValueError(f"non-finite delay {delay!r}")
+        self.sim = sim
+        self.callbacks = _NO_CALLBACKS
         self._ok = True
         self._value = value
-        sim._schedule(self, delay=delay)
+        self._defused = False
+        self._cancelled = False
+        self.delay = delay
+        heap = sim._heap
+        heappush(heap, (sim._now + delay, NORMAL, next(sim._seq), self))
+        if len(heap) > sim._heap_peak:
+            sim._heap_peak = len(heap)
+
+    def cancel(self) -> None:
+        """Withdraw a pending timeout: its callbacks will never run.
+
+        The calendar entry stays in the heap as a tombstone that the
+        drain loop discards (and bulk-compacts when tombstones crowd
+        the heap).  Racing patterns — client timeouts superseded by a
+        response, bandwidth-share wake-ups superseded by reallocation —
+        otherwise leave thousands of dead entries inflating every
+        heap operation.  A timeout that already fired is left alone.
+        """
+        if self.callbacks is None or self._cancelled:
+            return
+        self._cancelled = True
+        self.sim._cancel_scheduled()
 
 
 class Process(Event):
     """A running generator; itself an event that fires on termination."""
+
+    __slots__ = ("generator", "name", "_target", "_trace_started",
+                 "_resume_cb", "_wait_token")
 
     def __init__(self, sim: "Simulation", generator: Generator,
                  name: Optional[str] = None):
@@ -138,14 +218,23 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
-        if sim.trace is not None:
-            self._trace_started = sim.now
-        # Kick off the generator at the current time.
+        # Wake token for bare-number delays (see _resume): bumped by
+        # interrupt() so a superseded calendar entry is skipped at pop.
+        self._wait_token = 0
+        self._trace_started = sim._now if sim.trace is not None else None
+        # One bound method for the process's whole life: every wait
+        # otherwise materialises a fresh ``self._resume`` object.
+        self._resume_cb = self._resume
+        # Kick off the generator at the current time (initial event
+        # built inline — one per process spawn on the hot path).
         init = Event(sim)
         init._ok = True
         init._value = None
-        init.callbacks.append(self._resume)
-        sim._schedule(init, priority=URGENT)
+        init.callbacks = [self._resume_cb]
+        heap = sim._heap
+        heappush(heap, (sim._now, URGENT, next(sim._seq), init))
+        if len(heap) > sim._heap_peak:
+            sim._heap_peak = len(heap)
 
     @property
     def is_alive(self) -> bool:
@@ -162,63 +251,100 @@ class Process(Event):
         wakeup._ok = False
         wakeup._value = Interrupt(cause)
         wakeup._defused = True
-        wakeup.callbacks.append(self._resume)
+        wakeup.callbacks = [self._resume_cb]
         self.sim._schedule(wakeup, priority=URGENT)
+        # Invalidate any pending bare-delay calendar entry: the wake it
+        # carries has been superseded by this interrupt.
+        self._wait_token += 1
         # Detach from whatever it was waiting for.
-        if self._target is not None and self._target.callbacks is not None:
+        if self._target is not None and self._target.callbacks:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._target = None
 
     def _resume(self, event: Event) -> None:
-        self.sim._active_process = self
+        # Runs once per event with a waiting process — the single
+        # hottest function in any sweep; locals are cached accordingly.
+        sim = self.sim
+        generator = self.generator
+        resume = self._resume_cb
+        sim._active_process = self
         while True:
             try:
                 if event._ok:
-                    target = self.generator.send(event._value)
+                    target = generator.send(event._value)
                 else:
                     # Mark the failure as handled: it is being delivered.
                     event._defused = True
-                    target = self.generator.throw(event._value)
+                    target = generator.throw(event._value)
             except StopIteration as exc:
                 self._ok = True
                 self._value = exc.value
-                self.sim._schedule(self)
+                sim._schedule(self)
                 self._trace_end()
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                self.sim._schedule(self)
+                sim._schedule(self)
                 self._trace_end()
+                break
+            cls = type(target)
+            if cls is float or cls is int:
+                # Bare-number yield: an object-free timeout.  The
+                # calendar entry carries the process and a wake token
+                # directly — no Timeout, no callbacks list — which
+                # matters because bare delays (network hops, CPU
+                # bursts, device time) are the majority of all events
+                # in a sweep.  Sequence numbers are consumed at the
+                # same point a Timeout would consume them, so event
+                # ordering is identical to ``yield Timeout(sim, d)``.
+                if target < 0 or (target and not isfinite(target)):
+                    exc = ValueError(
+                        f"negative delay {target!r}" if target < 0
+                        else f"non-finite delay {target!r}")
+                    event = Event(sim)
+                    event._ok = False
+                    event._value = exc
+                    continue
+                heap = sim._heap
+                heappush(heap, (sim._now + target, NORMAL,
+                                next(sim._seq), self, self._wait_token))
+                if len(heap) > sim._heap_peak:
+                    sim._heap_peak = len(heap)
+                self._target = None
                 break
             if not isinstance(target, Event):
                 exc = SimulationError(
                     f"process {self.name!r} yielded non-event {target!r}")
-                event = Event(self.sim)
+                event = Event(sim)
                 event._ok = False
                 event._value = exc
                 continue
-            if target.sim is not self.sim:
+            if target.sim is not sim:
                 exc = SimulationError("yielded event from a foreign simulation")
-                event = Event(self.sim)
+                event = Event(sim)
                 event._ok = False
                 event._value = exc
                 continue
-            if target.callbacks is not None:
+            callbacks = target.callbacks
+            if callbacks is not None:
                 # Pending or triggered-but-unprocessed: wait for it.
-                target.callbacks.append(self._resume)
+                if callbacks is _NO_CALLBACKS:
+                    target.callbacks = [resume]
+                else:
+                    callbacks.append(resume)
                 self._target = target
                 break
             # Already processed: loop around and deliver immediately.
             event = target
-        self.sim._active_process = None
+        sim._active_process = None
 
     def _trace_end(self) -> None:
         trace = self.sim.trace
-        started = getattr(self, "_trace_started", None)
+        started = self._trace_started
         if trace is None or started is None:
             return
         trace.complete(f"process:{self.name}", started, category="kernel",
@@ -227,6 +353,8 @@ class Process(Event):
 
 class Condition(Event):
     """Base for ``AnyOf``/``AllOf`` composite events."""
+
+    __slots__ = ("events", "_unfired")
 
     def __init__(self, sim: "Simulation", events: Iterable[Event]):
         super().__init__(sim)
@@ -251,6 +379,8 @@ class Condition(Event):
 class AnyOf(Condition):
     """Fires when the first of its sub-events fires."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -263,6 +393,8 @@ class AnyOf(Condition):
 
 class AllOf(Condition):
     """Fires when all of its sub-events have fired."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -294,6 +426,8 @@ class Simulation:
 
     def __init__(self, start: float = 0.0, trace: Optional[Any] = None):
         self._now = float(start)
+        if not isfinite(self._now):
+            raise ValueError(f"non-finite start time {start!r}")
         self._heap: list = []
         self._seq = count()
         self._active_process: Optional[Process] = None
@@ -302,9 +436,12 @@ class Simulation:
         #: ``None`` keeps every fault-aware path at a single None-check,
         #: exactly like ``trace`` — untouched runs stay bit-identical.
         self.faults = None
-        self._events_scheduled = 0
-        self._events_processed = 0
         self._heap_peak = 0
+        # Cancelled-timeout tombstones: live count still in the heap,
+        # and the total discarded (popped or compacted away) so
+        # calendar_stats can report true processed-event counts.
+        self._ncancelled = 0
+        self._dropped = 0
         if trace is not None:
             trace.bind(self)
 
@@ -344,29 +481,80 @@ class Simulation:
 
     def _schedule(self, event: Event, priority: int = NORMAL,
                   delay: float = 0.0) -> None:
-        heapq.heappush(
-            self._heap, (self._now + delay, priority, next(self._seq), event))
-        if self.trace is not None:
-            self._events_scheduled += 1
-            if len(self._heap) > self._heap_peak:
-                self._heap_peak = len(self._heap)
+        if delay and not isfinite(delay):
+            # NaN delays poison heap ordering (every comparison is
+            # False) and visibly run the clock backwards; infinities
+            # wedge the calendar.  Refuse them at the single choke
+            # point every scheduling path funnels through.
+            raise ValueError(f"non-finite delay {delay!r}")
+        heap = self._heap
+        heapq.heappush(heap, (self._now + delay, priority,
+                              next(self._seq), event))
+        if len(heap) > self._heap_peak:
+            self._heap_peak = len(heap)
+
+    def _cancel_scheduled(self) -> None:
+        """Account one new tombstone; compact when they crowd the heap.
+
+        Compaction is amortised O(heap): it only triggers once
+        tombstones are both numerous (> 512) and the majority of the
+        heap, so each discarded entry pays O(1) on average and the
+        heap stays near its live size under cancel-heavy workloads.
+        """
+        self._ncancelled += 1
+        heap = self._heap
+        if self._ncancelled > 512 and self._ncancelled * 2 > len(heap):
+            live = [entry for entry in heap if not entry[3]._cancelled]
+            self._dropped += len(heap) - len(live)
+            # In-place: run()'s drain loop holds an alias to this list.
+            heap[:] = live
+            heapq.heapify(heap)
+            self._ncancelled = 0
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._heap[0][0] if self._heap else float("inf")
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if len(head) == 5:
+                if head[4] == head[3]._wait_token:
+                    break
+                heapq.heappop(heap)  # superseded bare-delay wake
+                self._dropped += 1
+                continue
+            if not head[3]._cancelled:
+                break
+            heapq.heappop(heap)
+            self._ncancelled -= 1
+            self._dropped += 1
+        return heap[0][0] if heap else float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
-        try:
-            self._now, _, _, event = heapq.heappop(self._heap)
-        except IndexError:
-            raise EmptySchedule("no scheduled events") from None
-        if self.trace is not None:
-            self._events_processed += 1
+        heap = self._heap
+        while True:
+            try:
+                entry = heapq.heappop(heap)
+            except IndexError:
+                raise EmptySchedule("no scheduled events") from None
+            self._now = entry[0]
+            event = entry[3]
+            if len(entry) == 5:
+                # Bare-delay wake (see Process._resume): resume the
+                # process directly unless an interrupt superseded it.
+                if entry[4] == event._wait_token:
+                    event._resume(_DELAY_FIRED)
+                    return
+                self._dropped += 1
+                continue
+            if not event._cancelled:
+                break
+            self._ncancelled -= 1
+            self._dropped += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not getattr(event, "_defused", False):
+        if not event._ok and not event._defused:
             # An un-waited-for failure must not pass silently.
             raise event._value
 
@@ -383,9 +571,11 @@ class Simulation:
                 stop_event = until
                 if stop_event.callbacks is None:
                     return stop_event._value
-                stop_event.callbacks.append(self._stop_callback)
+                stop_event.add_callback(self._stop_callback)
             else:
                 at = float(until)
+                if not isfinite(at):
+                    raise ValueError(f"non-finite until={until!r}")
                 if at < self._now:
                     raise ValueError(
                         f"until={at} lies in the past (now={self._now})")
@@ -393,26 +583,61 @@ class Simulation:
                 stop_event._ok = True
                 stop_event._value = None
                 self._schedule(stop_event, priority=URGENT, delay=at - self._now)
-                stop_event.callbacks.append(self._stop_callback)
+                stop_event.callbacks = [self._stop_callback]
+        # The drain below is step() inlined: one bound-method call and
+        # one try/except per event add ~15% to the hot loop, and this
+        # loop is where whole-cluster sweeps spend their time.  step()
+        # remains the single-event entry point for external callers.
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while True:
-                self.step()
+            while heap:
+                entry = pop(heap)
+                self._now = entry[0]
+                event = entry[3]
+                if len(entry) == 5:
+                    # Bare-delay wake (see Process._resume): resume the
+                    # process directly — no Event, no callbacks — unless
+                    # an interrupt superseded this entry's wake token.
+                    if entry[4] == event._wait_token:
+                        event._resume(_DELAY_FIRED)
+                    else:
+                        self._dropped += 1
+                    continue
+                if event._cancelled:
+                    self._ncancelled -= 1
+                    self._dropped += 1
+                    continue
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    # An un-waited-for failure must not pass silently.
+                    raise event._value
         except StopSimulation as stop:
             return stop.value
-        except EmptySchedule:
-            if stop_event is not None and not stop_event.triggered:
-                raise SimulationError(
-                    "schedule drained before the until-event fired") from None
-            return None
         finally:
             if self.trace is not None:
                 self.trace.instant("calendar", category="kernel",
                                    **self.calendar_stats())
+        if stop_event is not None and not stop_event.triggered:
+            raise SimulationError(
+                "schedule drained before the until-event fired")
+        return None
 
     def calendar_stats(self) -> dict:
-        """Event-calendar counters (collected only while tracing is on)."""
-        return {"scheduled": self._events_scheduled,
-                "processed": self._events_processed,
+        """Event-calendar counters, available traced or untraced.
+
+        ``scheduled`` is read back from the sequence counter (every
+        heap entry consumed one tie-break number), so the hot scheduling
+        path carries no dedicated accounting; ``processed`` is what left
+        the heap and ran callbacks (cancelled-timeout tombstones are
+        reported separately as ``dropped``).  All exact, not sampled.
+        """
+        scheduled = self._seq.__reduce__()[1][0]
+        return {"scheduled": scheduled,
+                "processed": scheduled - len(self._heap) - self._dropped,
+                "dropped": self._dropped,
                 "heap_peak": self._heap_peak,
                 "heap_now": len(self._heap)}
 

@@ -23,7 +23,7 @@ from collections import deque
 from typing import Any, Deque
 
 from .errors import SimulationError
-from .kernel import Event, Simulation
+from .kernel import _NO_CALLBACKS, _PENDING, Event, Simulation
 
 
 class Request(Event):
@@ -37,9 +37,21 @@ class Request(Event):
         # released on exit
     """
 
+    __slots__ = ("resource", "_in_queue", "_enqueued_at", "_granted_at")
+
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.sim)
+        # Event.__init__ inlined: one Request per CPU burst, disk op
+        # and connection slot makes this a hot allocation site.
+        self.sim = resource.sim
+        self.callbacks = _NO_CALLBACKS
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
+        self._cancelled = False
         self.resource = resource
+        self._in_queue = False
+        self._enqueued_at = None
+        self._granted_at = None
         resource._enqueue(self)
 
     def __enter__(self) -> "Request":
@@ -68,8 +80,15 @@ class Resource:
         self.sim = sim
         self.capacity = int(capacity)
         self.name = name
-        self.users: list = []
+        # Holders as an insertion-ordered dict: O(1) membership and
+        # removal where a list pays an O(n) scan per release, while
+        # iteration order still matches grant order.
+        self.users: dict = {}
+        # The wait queue stays a deque for FIFO grants; cancellations
+        # flip ``request._in_queue`` and leave a tombstone that the
+        # grant loop discards, so release/cancel are O(1) too.
         self.queue: Deque[Request] = deque()
+        self._queued = 0
         self._busy_integral = 0.0
         self._last_change = sim.now
 
@@ -83,10 +102,10 @@ class Resource:
     @property
     def queue_length(self) -> int:
         """Number of requests waiting for a slot."""
-        return len(self.queue)
+        return self._queued
 
     def _accumulate(self) -> None:
-        now = self.sim.now
+        now = self.sim._now
         self._busy_integral += len(self.users) * (now - self._last_change)
         self._last_change = now
 
@@ -110,51 +129,86 @@ class Resource:
 
     def release(self, request: Request) -> None:
         """Return the slot held by ``request`` (no-op if never granted)."""
-        if request in self.queue:
+        if request._in_queue:
             self._cancel(request)
             return
-        if request not in self.users:
+        users = self.users
+        if request not in users:
             return
-        self._accumulate()
-        self.users.remove(request)
+        # _accumulate() inlined — release runs once per CPU burst,
+        # disk op and connection.
+        now = self.sim._now
+        self._busy_integral += len(users) * (now - self._last_change)
+        self._last_change = now
+        del users[request]
         trace = self.sim.trace
         if trace is not None:
-            granted = getattr(request, "_granted_at", None)
+            granted = request._granted_at
             if granted is not None:
                 trace.complete(f"{self.name}.hold", granted,
                                category="resource")
-        self._grant_waiters()
+        if self._queued:
+            self._grant_waiters()
 
     def _enqueue(self, request: Request) -> None:
         if self.sim.trace is not None:
-            request._enqueued_at = self.sim.now
+            request._enqueued_at = self.sim._now
+        users = self.users
+        if not self._queued and len(users) < self.capacity:
+            # Uncontended fast path: grant in place (same accounting
+            # and same succeed-at-now scheduling as _grant_waiters,
+            # minus the queue round-trip every request otherwise pays).
+            now = self.sim._now
+            self._busy_integral += len(users) * (now - self._last_change)
+            self._last_change = now
+            users[request] = None
+            trace = self.sim.trace
+            if trace is not None:
+                request._granted_at = now
+            request.succeed(self)
+            return
+        request._in_queue = True
         self.queue.append(request)
+        self._queued += 1
         self._grant_waiters()
 
     def _cancel(self, request: Request) -> None:
-        try:
-            self.queue.remove(request)
-        except ValueError:
-            raise SimulationError("cannot cancel a granted request") from None
+        if not request._in_queue:
+            raise SimulationError("cannot cancel a granted request")
+        request._in_queue = False
+        self._queued -= 1
+        # Tombstones normally fall out at grant time; compact if a
+        # cancel-heavy burst leaves the deque mostly dead.
+        if len(self.queue) > 64 and len(self.queue) > 2 * self._queued:
+            self.queue = deque(r for r in self.queue if r._in_queue)
 
     def _grant_waiters(self) -> None:
         trace = self.sim.trace
-        while self.queue and len(self.users) < self.capacity:
-            self._accumulate()
+        users = self.users
+        while self._queued and len(users) < self.capacity:
             request = self.queue.popleft()
-            self.users.append(request)
+            if not request._in_queue:
+                continue  # cancelled while waiting
+            request._in_queue = False
+            self._queued -= 1
+            now = self.sim._now
+            self._busy_integral += len(users) * (now - self._last_change)
+            self._last_change = now
+            users[request] = None
             if trace is not None:
-                request._granted_at = self.sim.now
-                enqueued = getattr(request, "_enqueued_at", None)
+                request._granted_at = self.sim._now
+                enqueued = request._enqueued_at
                 # Contended acquisitions leave a wait span; immediate
                 # grants would only add zero-length noise.
-                if enqueued is not None and enqueued < self.sim.now:
+                if enqueued is not None and enqueued < self.sim._now:
                     trace.complete(f"{self.name}.wait", enqueued,
                                    category="resource")
             request.succeed(self)
 
 
 class ContainerPut(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         if amount <= 0:
             raise ValueError(f"put amount must be > 0, got {amount}")
@@ -165,6 +219,8 @@ class ContainerPut(Event):
 
 
 class ContainerGet(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         if amount <= 0:
             raise ValueError(f"get amount must be > 0, got {amount}")
@@ -220,6 +276,8 @@ class Container:
 
 
 class StorePut(Event):
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.sim)
         self.item = item
@@ -228,6 +286,8 @@ class StorePut(Event):
 
 
 class StoreGet(Event):
+    __slots__ = ()
+
     def __init__(self, store: "Store"):
         super().__init__(store.sim)
         store._gets.append(self)

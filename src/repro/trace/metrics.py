@@ -107,6 +107,13 @@ class Histogram:
         if self.count == 0:
             raise ValueError(f"histogram {self.name!r} is empty")
         rank = max(1, math.ceil(p / 100.0 * self.count))
+        # The extreme ranks are tracked exactly; returning them directly
+        # clamps both tails (a bucket midpoint can otherwise exceed the
+        # observed minimum at p=0, the mirror of the p=100 clamp).
+        if rank == 1:
+            return self._min
+        if rank == self.count:
+            return self._max
         cumulative = 0
         for index in sorted(self._counts):
             cumulative += self._counts[index]

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from ..sim import AnyOf
+from ..sim import AnyOf, Timeout
 from . import params as P
 from .nodes import SYN_RETRY_DELAYS, WebServerNode
 
@@ -93,9 +93,11 @@ class HttperfDriver:
             raise ValueError("concurrency must be > 0 and calls >= 1")
         index = 0
         n = len(self.web_nodes)
-        while self.sim.now < until:
-            yield self.sim.timeout(self.rng.expovariate(concurrency))
-            faults = self.sim.faults
+        sim = self.sim
+        expovariate = self.rng.expovariate
+        while sim._now < until:
+            yield expovariate(concurrency)
+            faults = sim.faults
             if faults is None:
                 web = self.web_nodes[index % n]
                 client = self.client_names[index % len(self.client_names)]
@@ -116,41 +118,49 @@ class HttperfDriver:
                     # Every backend is marked down.
                     self._count_failed_connection()
                     continue
-            self.sim.process(self._connection(client, web, calls),
-                             name=f"conn-{index}")
+            sim.process(self._connection(client, web, calls),
+                        name=f"conn-{index}")
 
     def _connection(self, client: str, web: WebServerNode, calls: int):
         """One httperf connection: SYN (with retries), then ``calls`` calls."""
-        start = self.sim.now
+        sim = self.sim
+        start = sim._now
         attempt = 0
         while not web.try_accept():
             if attempt >= len(SYN_RETRY_DELAYS):
                 self._count_failed_connection()
                 return
-            yield self.sim.timeout(SYN_RETRY_DELAYS[attempt])
+            yield SYN_RETRY_DELAYS[attempt]
             attempt += 1
             self._count_syn_retry()
-        yield self.sim.timeout(self.topology.rtt(client, web.server.name))
-        connect_delay = self.sim.now - start
-        if self.sim.trace is not None:
-            self.sim.trace.complete("connect", start, category="web",
-                                    node=web.server.name, client=client,
-                                    syn_retries=attempt)
+        web_name = web.server.name
+        yield self.topology.rtt(client, web_name)
+        connect_delay = sim._now - start
+        if sim.trace is not None:
+            sim.trace.complete("connect", start, category="web",
+                               node=web_name, client=client,
+                               syn_retries=attempt)
         self._count_connection()
         epoch = web.epoch
+        message = self.topology.message
+        request_bytes = self.workload.request_bytes
+        timeout_s = self.workload.client_timeout_s
         try:
             for i in range(calls):
-                call_start = self.sim.now
-                yield from self.topology.message(
-                    client, web.server.name, self.workload.request_bytes)
-                handler = self.sim.process(web.handle_call(client))
-                timer = self.sim.timeout(self.workload.client_timeout_s)
-                yield AnyOf(self.sim, [handler, timer])
+                call_start = sim._now
+                yield from message(client, web_name, request_bytes)
+                handler = sim.process(web.handle_call(client))
+                timer = Timeout(sim, timeout_s)
+                yield AnyOf(sim, [handler, timer])
                 if not handler.processed:
                     self._count_timeout()
                     return  # client gave up; server keeps grinding
+                # The race is settled: drop the client-timeout timer
+                # from the calendar instead of letting every completed
+                # call leave a dead 10 s entry bloating the heap.
+                timer.cancel()
                 record = handler.value
-                call_delay = self.sim.now - call_start
+                call_delay = sim._now - call_start
                 reported = call_delay + (connect_delay if i == 0 else 0.0)
                 self._count_call(record.ok, call_delay, reported)
                 if record.status == 503:
@@ -161,7 +171,7 @@ class HttperfDriver:
     # -- windowed counting -------------------------------------------------
 
     def _in_window(self) -> bool:
-        return self.sim.now >= self.collect_after
+        return self.sim._now >= self.collect_after
 
     def _count_call(self, ok: bool, call_delay: float, reported: float):
         if not self._in_window():

@@ -22,7 +22,7 @@ from . import params as P
 SYN_RETRY_DELAYS = (1.0, 2.0, 4.0)
 
 
-@dataclass
+@dataclass(slots=True)
 class CallRecord:
     """Timing of one completed HTTP call, as logged on the web server."""
 
@@ -70,9 +70,11 @@ class PortPool:
             self.available += 1
             return
         wake = self.sim.timeout(self.time_wait_s)
-        wake.add_callback(lambda _ev: self._release())
+        # Bound method as the callback: one closure per connection
+        # close adds up across a sweep.
+        wake.add_callback(self._release)
 
-    def _release(self) -> None:
+    def _release(self, _event=None) -> None:
         self.available = min(self.size, self.available + 1)
 
 
@@ -191,8 +193,9 @@ class WebServerNode:
         Returns the :class:`CallRecord`; also appends it to the node's
         log when logging is enabled.
         """
-        record = CallRecord(start=self.sim.now)
-        trace = self.sim.trace
+        sim = self.sim
+        record = CallRecord(start=sim._now)
+        trace = sim.trace
         rid = trace.next_id() if trace is not None else 0
         if self.active_calls >= self.limits.call_queue_limit:
             # Thread/FD exhaustion: answer 500 cheaply (Figures 4-6's
@@ -200,43 +203,47 @@ class WebServerNode:
             yield from self._error_reply(record, client_name, rid, trace)
             return record
         self.active_calls += 1
-        faults = self.sim.faults
-        process = self.sim.active_process
+        faults = sim.faults
+        process = sim._active_process
+        name = self.server.name
+        rng = self.rng
+        cpu_execute = self.server.cpu.execute
+        message = self.topology.message
+        costs = self.costs
         if faults is not None:
-            faults.bind(self.server.name, process)
+            faults.bind(name, process)
         try:
             content = self._pick_content()
             # Per-request work varies (page size, PHP branches, kernel
             # interrupts): an exponential factor (mean 1, cv 1) leaves
             # capacity unchanged but produces the M/G/c queueing growth
             # behind the paper's delay-vs-concurrency curves.
-            work_factor = self.rng.expovariate(1.0)
-            yield from self.server.cpu.execute(
-                work_factor * 0.4 * self.costs.request_base_mi)
+            work_factor = rng.expovariate(1.0)
+            yield from cpu_execute(
+                work_factor * 0.4 * costs.request_base_mi)
             # Cache leg (timed as the paper's web-server logs time it).
-            cache_start = self.sim.now
-            cache = self.rng.choice(self.cache_nodes)
+            cache_start = sim._now
+            cache = rng.choice(self.cache_nodes)
             if faults is not None and not faults.is_up(cache.server.name):
                 # Dead memcached: the get times out client-side and the
                 # request falls through to the database as a miss.
-                yield self.sim.timeout(P.CACHE_DEAD_TIMEOUT_S)
+                yield P.CACHE_DEAD_TIMEOUT_S
                 hit = False
             else:
-                yield from self.topology.message(
-                    self.server.name, cache.server.name, P.CACHE_KEY_BYTES)
+                yield from message(name, cache.server.name,
+                                   P.CACHE_KEY_BYTES)
                 yield from cache.handle_get()
-                hit = self.rng.random() < self.workload.cache_hit_ratio
+                hit = rng.random() < self.workload.cache_hit_ratio
                 if hit:
-                    yield from self.topology.message(
-                        cache.server.name, self.server.name, content)
-            yield from self.server.cpu.execute(self.costs.cache_client_mi)
-            record.cache_s = self.sim.now - cache_start
+                    yield from message(cache.server.name, name, content)
+            yield from cpu_execute(costs.cache_client_mi)
+            record.cache_s = sim._now - cache_start
             if trace is not None:
                 trace.complete("cache", cache_start, category="web",
                                node=cache.server.name, req=rid, hit=hit)
             if not hit:
-                db_start = self.sim.now
-                db = self.rng.choice(self.db_nodes)
+                db_start = sim._now
+                db = rng.choice(self.db_nodes)
                 if faults is not None and not faults.is_up(db.server.name):
                     # Fail over to any live database replica; with the
                     # whole tier down the page cannot be built at all.
@@ -247,25 +254,22 @@ class WebServerNode:
                                                      rid, trace)
                         return record
                     db = live[0]
-                yield from self.topology.message(
-                    self.server.name, db.server.name, P.DB_QUERY_BYTES)
+                yield from message(name, db.server.name, P.DB_QUERY_BYTES)
                 yield from db.handle_query(content)
-                yield from self.topology.message(
-                    db.server.name, self.server.name, content)
-                yield from self.server.cpu.execute(self.costs.db_client_mi)
-                record.db_s = self.sim.now - db_start
+                yield from message(db.server.name, name, content)
+                yield from cpu_execute(costs.db_client_mi)
+                record.db_s = sim._now - db_start
                 if trace is not None:
                     trace.complete("db", db_start, category="web",
                                    node=db.server.name, req=rid)
-            assemble_mi = (0.6 * self.costs.request_base_mi
-                           + self.costs.per_reply_kb_mi * content / 1000.0)
-            yield from self.server.cpu.execute(work_factor * assemble_mi)
-            yield from self.topology.message(
-                self.server.name, client_name, content)
-            record.total_s = self.sim.now - record.start
+            assemble_mi = (0.6 * costs.request_base_mi
+                           + costs.per_reply_kb_mi * content / 1000.0)
+            yield from cpu_execute(work_factor * assemble_mi)
+            yield from message(name, client_name, content)
+            record.total_s = sim._now - record.start
             if trace is not None:
                 trace.complete("request", record.start, category="web",
-                               node=self.server.name, req=rid,
+                               node=name, req=rid,
                                status=record.status)
             self._log(record)
             return record
@@ -273,15 +277,15 @@ class WebServerNode:
             # The web server died under this request; the client's
             # connection is dead (reported as a 503 service failure).
             record.status = 503
-            record.total_s = self.sim.now - record.start
+            record.total_s = sim._now - record.start
             if trace is not None:
                 trace.complete("request", record.start, category="web",
-                               node=self.server.name, req=rid, status=503)
+                               node=name, req=rid, status=503)
             self._log(record)
             return record
         finally:
             if faults is not None:
-                faults.unbind(self.server.name, process)
+                faults.unbind(name, process)
             self.active_calls -= 1
 
     def _error_reply(self, record: CallRecord, client_name: str,

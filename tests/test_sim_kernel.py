@@ -1,9 +1,11 @@
 """Unit tests for the discrete-event simulation kernel."""
 
+import random
+
 import pytest
 
 from repro.sim import (
-    EmptySchedule, Event, Interrupt, Simulation, SimulationError,
+    EmptySchedule, Event, Interrupt, Resource, Simulation, SimulationError,
 )
 
 
@@ -150,11 +152,66 @@ def test_yield_non_event_raises_in_process():
     sim = Simulation()
 
     def proc():
-        yield 17
+        yield "not an event"
 
     sim.process(proc())
     with pytest.raises(SimulationError):
         sim.run()
+
+
+def test_yield_bare_number_is_a_delay():
+    # A plain float/int yield is shorthand for Timeout(sim, delay).
+    sim = Simulation()
+    log = []
+
+    def proc():
+        yield 17
+        log.append(sim.now)
+        yield 2.5
+        log.append(sim.now)
+        yield 0
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [17.0, 19.5, 19.5]
+
+
+def test_bare_number_delay_rejects_negative_and_non_finite():
+    for bad in (-1.0, float("nan"), float("inf")):
+        sim = Simulation()
+
+        def proc(delay=bad):
+            yield delay
+
+        sim.process(proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+
+def test_interrupt_during_bare_delay_does_not_double_resume():
+    # The superseded calendar entry must be skipped, not delivered to
+    # whatever the process waits on next.
+    sim = Simulation()
+    log = []
+
+    def sleeper():
+        try:
+            yield 10.0
+            log.append(("slept", sim.now))
+        except Interrupt:
+            log.append(("interrupted", sim.now))
+            yield 3.0
+            log.append(("resumed", sim.now))
+
+    def poker(target):
+        yield 4.0
+        target.interrupt("poke")
+
+    proc = sim.process(sleeper())
+    sim.process(poker(proc))
+    sim.run()
+    assert log == [("interrupted", 4.0), ("resumed", 7.0)]
 
 
 def test_event_succeed_wakes_waiter():
@@ -329,3 +386,100 @@ def test_event_value_unavailable_before_trigger():
         _ = event.value
     with pytest.raises(SimulationError):
         _ = event.ok
+
+
+# -- non-finite time guards -------------------------------------------------
+
+
+def test_timeout_rejects_non_finite_and_negative_delay():
+    sim = Simulation()
+    for bad in (float("nan"), float("inf"), float("-inf"), -0.5):
+        with pytest.raises(ValueError):
+            sim.timeout(bad)
+
+
+def test_simulation_rejects_non_finite_start():
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError):
+            Simulation(start=bad)
+
+
+def test_run_rejects_non_finite_until():
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            sim.run(until=bad)
+
+
+def test_schedule_rejects_non_finite_delay():
+    sim = Simulation()
+    for bad in (float("nan"), float("inf")):
+        with pytest.raises(ValueError):
+            sim._schedule(sim.event(), delay=bad)
+
+
+# -- kernel invariants ------------------------------------------------------
+
+
+def test_now_monotonic_across_randomized_workload():
+    # Property test: whatever mix of timeouts, bare delays, resource
+    # waits and child processes runs, the clock never moves backwards
+    # and events are observed in non-decreasing time order.
+    rng = random.Random(20160901)
+    sim = Simulation()
+    resource = Resource(sim, capacity=2)
+    observed = []
+
+    def child(delay):
+        yield delay
+        return delay
+
+    def worker(seed):
+        r = random.Random(seed)
+        for _ in range(r.randint(3, 12)):
+            before = sim.now
+            roll = r.random()
+            if roll < 0.35:
+                yield r.uniform(0.0, 2.0)          # bare delay
+            elif roll < 0.6:
+                yield sim.timeout(r.uniform(0.0, 1.0))
+            elif roll < 0.85:
+                grant = resource.request()
+                yield grant
+                yield r.uniform(0.0, 0.3)
+                resource.release(grant)
+            else:
+                yield sim.process(child(r.uniform(0.0, 0.5)))
+            assert sim.now >= before
+            observed.append(sim.now)
+
+    for _ in range(25):
+        sim.process(worker(rng.randrange(2**31)))
+    sim.run()
+    assert len(observed) > 100
+    assert all(b >= a for a, b in zip(observed, observed[1:]))
+
+
+def test_resource_fifo_grant_order():
+    # Grants must be served strictly in arrival order, regardless of
+    # how the waiters were spawned.
+    rng = random.Random(7)
+    sim = Simulation()
+    resource = Resource(sim, capacity=1)
+    arrivals = {idx: rng.uniform(0.0, 5.0) for idx in range(12)}
+    order = []
+
+    def worker(idx):
+        yield arrivals[idx]
+        grant = resource.request()
+        yield grant
+        order.append(idx)
+        yield 0.9   # hold long enough that a queue builds up
+        resource.release(grant)
+
+    spawn = list(arrivals)
+    rng.shuffle(spawn)
+    for idx in spawn:
+        sim.process(worker(idx))
+    sim.run()
+    assert order == sorted(arrivals, key=arrivals.__getitem__)

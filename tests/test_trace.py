@@ -147,6 +147,18 @@ def test_histogram_percentile_against_brute_force():
         assert exact / 1.08 <= estimate <= exact * 1.08, (p, exact, estimate)
 
 
+def test_histogram_percentile_low_tail_clamped_to_min():
+    # Regression: the geometric midpoint of the lowest occupied bucket
+    # can fall below the observed minimum; low-percentile estimates
+    # must be clamped into [min, max] just like the high tail.
+    hist = Histogram(growth=2.0)
+    for value in (1.9, 1000.0, 1001.0, 1002.0):
+        hist.observe(value)
+    assert hist.percentile(0) == 1.9
+    for p in (0, 1, 10, 25, 50, 90, 100):
+        assert 1.9 <= hist.percentile(p) <= 1002.0
+
+
 def test_histogram_edges():
     hist = Histogram()
     with pytest.raises(ValueError):

@@ -6,6 +6,8 @@ event stream — same count, names, categories, phases, nodes and exact
 (bit-for-bit) timestamps and durations.
 """
 
+import gc
+
 import pytest
 
 from repro.trace import (TraceEvent, TraceLog, Tracer, read_csv, read_jsonl,
@@ -18,6 +20,14 @@ def traced_web_run():
     deployment = WebServiceDeployment("edison", "1/8", seed=11, trace=tracer)
     deployment.run_level(16, duration=1.0, warmup=0.25)
     assert len(tracer.log) > 100   # a real, busy event stream
+    # Processes still in flight when the level ends hold vcore grants;
+    # their generators' finally blocks release them (emitting .hold/.wait
+    # trace spans) only when the garbage collector closes the generators.
+    # Drop the deployment and collect *now* so the log is complete before
+    # the caller snapshots it, instead of growing whenever GC happens to
+    # run mid-assert.
+    deployment = None
+    gc.collect()
     return tracer.log
 
 
