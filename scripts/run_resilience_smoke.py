@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Resilience smoke: off-path bit-identity plus the gray-failure bar.
+
+Two contracts, checked in order:
+
+1. **Off-path fidelity** — with resilience *off* (either ``None`` or an
+   all-disabled config) a web level and a MapReduce job must match the
+   committed digests in ``experiments/resilience_baseline.json``
+   float-for-float, and the ``None`` and ``disabled()`` variants must
+   match *each other*.  The resilience package must be invisible until
+   armed.
+
+2. **Gray-failure acceptance** — under the committed seeded plan in
+   ``experiments/gray_failures.json`` the mitigated web arm keeps both
+   its latency and availability SLOs where the unmitigated arm misses,
+   and the mitigated job completes faster than the unmitigated one,
+   which also fails task attempts.  Both tax reports land in
+   ``--out-dir`` as JSON artifacts.
+
+Run:  PYTHONPATH=src python scripts/run_resilience_smoke.py
+      PYTHONPATH=src python scripts/run_resilience_smoke.py --update
+"""
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import asdict
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+REPO = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+BASELINE = os.path.join(REPO, "experiments", "resilience_baseline.json")
+PLANS = os.path.join(REPO, "experiments", "gray_failures.json")
+
+failures = []
+
+
+def check(ok: bool, what: str) -> None:
+    print(("  ok  " if ok else "  FAIL") + f"  {what}")
+    if not ok:
+        failures.append(what)
+
+
+def off_path_digests(resilience):
+    """The fidelity digests of one web level and one job, faults off."""
+    from repro.mapreduce import JOB_FACTORIES, JobRunner
+    from repro.resilience.report import GRAY_SEED
+    from repro.web import WebServiceDeployment
+
+    deployment = WebServiceDeployment("edison", "1/4", seed=GRAY_SEED,
+                                      resilience=resilience)
+    level = deployment.run_level(24, duration=3.0, warmup=1.0)
+    spec, config = JOB_FACTORIES["wordcount2"]("edison", 8)
+    runner = JobRunner("edison", 8, config=config, seed=GRAY_SEED,
+                       resilience=resilience)
+    report = runner.run(spec)
+    return {"web": asdict(level),
+            "job": {"seconds": report.seconds, "joules": report.joules,
+                    "locality_fraction": report.locality_fraction}}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed off-path baseline "
+                             "instead of checking against it")
+    parser.add_argument("--out-dir", default=REPO, metavar="DIR",
+                        help="where the two tax-report JSON artifacts go")
+    args = parser.parse_args()
+
+    from repro.faults import FaultPlan
+    from repro.resilience import (ResilienceConfig, job_resilience_experiment,
+                                  web_resilience_experiment)
+
+    print("off-path fidelity (resilience package must be invisible):")
+    plain = off_path_digests(None)
+    disabled = off_path_digests(ResilienceConfig.disabled())
+    check(plain == disabled,
+          "resilience=None and ResilienceConfig.disabled() are "
+          "bit-identical")
+    if args.update:
+        with open(BASELINE, "w", encoding="utf-8") as handle:
+            json.dump(plain, handle, indent=1)
+            handle.write("\n")
+        print(f"  baseline rewritten -> {BASELINE}")
+    else:
+        with open(BASELINE, encoding="utf-8") as handle:
+            committed = json.load(handle)
+        check(plain == committed,
+              "off-path digests match the committed baseline")
+
+    print("gray-failure acceptance (committed plan, committed seed):")
+    with open(PLANS, encoding="utf-8") as handle:
+        plans = json.load(handle)
+    web = web_resilience_experiment(plan=FaultPlan.from_dict(plans["web"]))
+    job = job_resilience_experiment(plan=FaultPlan.from_dict(plans["job"]))
+
+    check(not (web.unmitigated.availability_met
+               and web.unmitigated.latency_met),
+          "unmitigated web arm misses an SLO "
+          f"(availability {web.unmitigated.availability * 100:.2f}%, "
+          f"p95 {web.unmitigated.p95_s * 1000:.0f} ms)")
+    check(bool(web.mitigated.availability_met),
+          "mitigated web arm meets the availability SLO "
+          f"({web.mitigated.availability * 100:.4f}%)")
+    check(bool(web.mitigated.latency_met),
+          "mitigated web arm keeps p95 under the 3 s bound "
+          f"({web.mitigated.p95_s * 1000:.0f} ms)")
+    check(job.unmitigated.task_failures > 0,
+          f"unmitigated job arm fails task attempts "
+          f"({job.unmitigated.task_failures})")
+    check(job.mitigated.completed and job.unmitigated.completed,
+          "both job arms complete")
+    check(job.mitigated.seconds < job.unmitigated.seconds,
+          f"speculation beats the straggler "
+          f"({job.mitigated.seconds:.0f} s vs "
+          f"{job.unmitigated.seconds:.0f} s unmitigated)")
+    check(job.mitigated.total_waste_joules > 0,
+          f"the job report prices the speculation tax "
+          f"({job.mitigated.total_waste_joules:.1f} J)")
+    check(web.mitigated.total_waste_joules > 0,
+          f"the web report prices the hedge/shed tax "
+          f"({web.mitigated.total_waste_joules:.1f} J)")
+
+    for name, report in (("resilience_web_report.json", web),
+                         ("resilience_job_report.json", job)):
+        path = os.path.join(args.out_dir, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=1)
+            handle.write("\n")
+        print(f"  artifact -> {path}")
+
+    if failures:
+        print(f"{len(failures)} check(s) failed")
+        return 1
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,6 +98,30 @@ def _export_metrics(tracer, args) -> None:
     print(f"metrics: {len(snapshot)} instruments -> {path}")
 
 
+def _make_resilience(args):
+    """A stock ResilienceConfig when ``--resilience`` was given, else None.
+
+    None (not a disabled config) keeps the run on the bit-identical
+    historical path; the stock config enables every mitigation with
+    its defaults.
+    """
+    if not getattr(args, "resilience", False):
+        return None
+    from .resilience import ResilienceConfig
+    return ResilienceConfig()
+
+
+def _print_resilience(thing) -> None:
+    """One activity line when a run's resilience ledger saw any action."""
+    ledger = getattr(thing, "resilience_ledger", None)
+    if ledger is None:
+        return
+    active = {k: v for k, v in sorted(ledger.counters.items()) if v}
+    if active:
+        print("resilience: " + ", ".join(f"{k}={v}"
+                                         for k, v in active.items()))
+
+
 def _make_telemetry(args):
     """A Telemetry (with the stock rules) when ``--telemetry`` was given."""
     path = getattr(args, "telemetry", None)
@@ -131,7 +155,8 @@ def _cmd_web(args) -> int:
     telemetry = _make_telemetry(args)
     plan = _load_fault_plan(args)
     deployment = WebServiceDeployment(args.platform, args.scale, workload,
-                                      seed=args.seed, trace=tracer)
+                                      seed=args.seed, trace=tracer,
+                                      resilience=_make_resilience(args))
     if telemetry is not None:
         telemetry.attach_web(deployment)
     injector = deployment.attach_faults(plan) if plan is not None else None
@@ -141,6 +166,7 @@ def _cmd_web(args) -> int:
     _export_telemetry(telemetry, args)
     if injector is not None:
         _print_fault_report(injector)
+    _print_resilience(deployment)
     print(format_table(
         ("metric", "value"),
         [("requests/s", f"{level.requests_per_second:.0f}"),
@@ -161,7 +187,8 @@ def _cmd_job(args) -> int:
     telemetry = _make_telemetry(args)
     plan = _load_fault_plan(args)
     runner = JobRunner(args.platform, args.slaves, config=config,
-                       seed=args.seed, trace=tracer)
+                       seed=args.seed, trace=tracer,
+                       resilience=_make_resilience(args))
     if telemetry is not None:
         telemetry.attach_job(runner)
     injector = None
@@ -173,6 +200,7 @@ def _cmd_job(args) -> int:
     _export_telemetry(telemetry, args)
     if injector is not None:
         _print_fault_report(injector)
+    _print_resilience(runner)
     print(format_table(
         ("metric", "value"),
         [("run time (s)", f"{report.seconds:.0f}"),
@@ -197,7 +225,7 @@ def _cmd_chaos_web(args) -> int:
         plan=plan, concurrency=args.concurrency, duration=args.duration,
         warmup=args.duration / 4, kill_at=args.kill_at,
         repair_s=args.repair_after, seed=args.seed, trace=tracer,
-        telemetry=telemetry)
+        telemetry=telemetry, resilience=_make_resilience(args))
     _export_trace(tracer, args)
     _export_telemetry(telemetry, args)
     base, fault = result.baseline, result.faulted
@@ -234,7 +262,7 @@ def _cmd_chaos_job(args) -> int:
         job=args.name, platform=args.platform, slaves=args.slaves,
         victim=args.victim, plan=plan, kill_at=args.kill_at,
         repair_s=args.repair_after, seed=args.seed, trace=tracer,
-        telemetry=telemetry)
+        telemetry=telemetry, resilience=_make_resilience(args))
     _export_trace(tracer, args)
     _export_telemetry(telemetry, args)
     rows = [("baseline", f"{result.baseline.seconds:.0f}s / "
@@ -255,6 +283,28 @@ def _cmd_chaos_job(args) -> int:
     for line in result.availability.lines():
         print(line)
     return 0 if result.completed else 1
+
+
+def _cmd_resilience(args) -> int:
+    """The paired gray-failure experiment: mitigated vs unmitigated."""
+    import json
+    from .resilience import (job_resilience_experiment,
+                             web_resilience_experiment)
+    if args.json:
+        _check_parent_dir("--json", args.json)
+    # Always the committed gray seed: the report's numbers are the
+    # repo's pinned acceptance story, not a sampling experiment.
+    if args.kind == "web":
+        report = web_resilience_experiment(platform=args.platform)
+    else:
+        report = job_resilience_experiment(platform=args.platform)
+    for line in report.lines():
+        print(line)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=1)
+        print(f"report -> {args.json}")
+    return 0
 
 
 def _cmd_report(args) -> int:
@@ -423,6 +473,10 @@ def build_parser() -> argparse.ArgumentParser:
     web.add_argument("--trace", metavar="PATH",
                      help="write a Chrome/Perfetto trace of the run "
                           "to PATH")
+    web.add_argument("--resilience", action="store_true",
+                     help="enable the web-tier mitigations (circuit "
+                          "breakers, retries, hedging, load shedding) "
+                          "with their stock configuration")
     web.add_argument("--fault-plan", metavar="FILE",
                      help="inject the faults in this JSON plan "
                           "(see repro.faults.FaultPlan)")
@@ -437,6 +491,9 @@ def build_parser() -> argparse.ArgumentParser:
     job.add_argument("--trace", metavar="PATH",
                      help="write a Chrome/Perfetto trace of the run "
                           "to PATH")
+    job.add_argument("--resilience", action="store_true",
+                     help="enable LATE speculative execution and retry "
+                          "backoff with their stock configuration")
     job.add_argument("--fault-plan", metavar="FILE",
                      help="inject the faults in this JSON plan "
                           "(see repro.faults.FaultPlan)")
@@ -461,6 +518,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: %(default)s)")
     cweb.add_argument("--repair-after", type=float, default=None,
                       help="repair delay in seconds (default: never)")
+    cweb.add_argument("--resilience", action="store_true",
+                      help="arm the faulted run with the stock web-tier "
+                           "mitigations (the baseline stays clean)")
     cweb.add_argument("--fault-plan", metavar="FILE",
                       help="run this JSON plan instead of a single kill")
     cweb.add_argument("--trace", metavar="PATH",
@@ -481,6 +541,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: %(default)s)")
     cjob.add_argument("--repair-after", type=float, default=None,
                       help="repair delay in seconds (default: never)")
+    cjob.add_argument("--resilience", action="store_true",
+                      help="arm the faulted run with LATE speculation "
+                           "(the baseline stays clean)")
     cjob.add_argument("--fault-plan", metavar="FILE",
                       help="run this JSON plan instead of a single kill")
     cjob.add_argument("--trace", metavar="PATH",
@@ -488,6 +551,18 @@ def build_parser() -> argparse.ArgumentParser:
                            "run to PATH")
     _add_observability_flags(cjob)
     cjob.set_defaults(func=_cmd_chaos_job)
+
+    res = sub.add_parser(
+        "resilience",
+        help="gray-failure tax report: the same seeded fault plan run "
+             "with and without mitigation, and the joule price of the "
+             "difference")
+    res.add_argument("kind", choices=("web", "job"))
+    res.add_argument("--platform", choices=("edison", "dell"),
+                     default="edison")
+    res.add_argument("--json", metavar="PATH",
+                     help="also write the report as JSON to PATH")
+    res.set_defaults(func=_cmd_resilience)
 
     sub.add_parser("table2", help="capacity estimate") \
         .set_defaults(func=_cmd_table2)

@@ -33,6 +33,34 @@ class EnergyReport:
         return self.work_units / self.joules
 
 
+@dataclass(frozen=True)
+class MitigationCosts:
+    """Joules spent *surviving* rather than *working*.
+
+    Filled in by :class:`repro.resilience.ResilienceLedger`; each field
+    is the energy of one mitigation's discarded work — killed
+    speculative attempts, losing hedge legs, shed-request error
+    replies, and client retries of calls that ultimately succeeded
+    elsewhere.  These joules appear in the run's energy total but not
+    in its useful-work numerator, which is exactly why the resilience
+    tax report breaks them out.
+    """
+
+    speculative_j: float = 0.0
+    hedge_j: float = 0.0
+    shed_j: float = 0.0
+    retry_j: float = 0.0
+
+    def __post_init__(self):
+        for name in ("speculative_j", "hedge_j", "shed_j", "retry_j"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def total_j(self) -> float:
+        return self.speculative_j + self.hedge_j + self.shed_j + self.retry_j
+
+
 def work_done_per_joule(work_units: float, joules: float) -> float:
     """Work-done-per-joule for ``work_units`` of work costing ``joules``."""
     if joules <= 0:

@@ -23,8 +23,8 @@ tested the same way.
 """
 
 from .models import (Fault, FaultCause, FaultPlan, RecurringFault,
-                     disk_failure, disk_stall, nic_degrade, node_crash,
-                     power_event, single_node_kill)
+                     cpu_throttle, disk_failure, disk_stall, nic_degrade,
+                     node_crash, packet_loss, power_event, single_node_kill)
 from .injector import FaultInjector, FaultRecord
 from .report import (AvailabilityReport, JobChaosResult, WebChaosResult,
                      job_kill_experiment, web_kill_experiment)
@@ -32,7 +32,7 @@ from .report import (AvailabilityReport, JobChaosResult, WebChaosResult,
 __all__ = [
     "Fault", "FaultCause", "FaultPlan", "RecurringFault",
     "node_crash", "power_event", "nic_degrade", "disk_stall",
-    "disk_failure", "single_node_kill",
+    "disk_failure", "cpu_throttle", "packet_loss", "single_node_kill",
     "FaultInjector", "FaultRecord",
     "AvailabilityReport", "WebChaosResult", "JobChaosResult",
     "web_kill_experiment", "job_kill_experiment",

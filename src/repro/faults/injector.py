@@ -95,6 +95,7 @@ class FaultInjector:
         self._nic_base: Dict[str, tuple] = {}
         self._nic_factors: Dict[str, List[float]] = {}
         self._stall_factors: Dict[str, List[float]] = {}
+        self._throttle_factors: Dict[str, List[float]] = {}
         self.records: List[FaultRecord] = []
         self._rng = RngStreams(seed)
         sim.faults = self
@@ -230,6 +231,10 @@ class FaultInjector:
             yield from self._apply_nic(fault, record)
         elif fault.kind == "disk_stall":
             yield from self._apply_disk_stall(fault, record)
+        elif fault.kind == "cpu_throttle":
+            yield from self._apply_cpu_throttle(fault, record)
+        elif fault.kind == "packet_loss":
+            yield from self._apply_packet_loss(fault, record)
         elif fault.kind == "disk_fail":
             self.status[fault.node].disk_failed = True
             # Permanent: the record's end stays None.
@@ -300,6 +305,51 @@ class FaultInjector:
             self.sim.trace.complete("fault.nic", record.start,
                                     category="fault", node=fault.node,
                                     factor=fault.factor)
+
+    def _apply_cpu_throttle(self, fault: Fault, record: FaultRecord):
+        cpu = self.cluster.servers[fault.node].cpu
+        throttles = self._throttle_factors.setdefault(fault.node, [])
+        throttles.append(fault.factor)
+        scale = 1.0
+        for f in throttles:
+            scale *= f
+        cpu.throttle = scale
+        yield self.sim.timeout(fault.duration)
+        throttles.remove(fault.factor)
+        if throttles:
+            scale = 1.0
+            for f in throttles:
+                scale *= f
+            cpu.throttle = scale
+        else:
+            # Exact nominal value back, so a recovered CPU is
+            # bit-identical to one never throttled.
+            cpu.throttle = 1.0
+        record.end = self.sim.now
+        if self.sim.trace is not None:
+            self.sim.trace.complete("fault.cpu_throttle", record.start,
+                                    category="fault", node=fault.node,
+                                    factor=fault.factor)
+
+    def _apply_packet_loss(self, fault: Fault, record: FaultRecord):
+        # Goodput under loss rate p is (1 - p) of line rate (every lost
+        # packet is retransmitted), so packet loss rides the same
+        # capacity-scaling stack as nic degradation — the two compose
+        # multiplicatively and unwind to the bit-exact base rate.
+        if fault.node not in self._nic_base:
+            tx, rx = self._nic_segments(fault.node)
+            self._nic_base[fault.node] = (tx.capacity_Bps, rx.capacity_Bps)
+        goodput = 1.0 - fault.loss
+        self._nic_factors.setdefault(fault.node, []).append(goodput)
+        self._rescale_nic(fault.node)
+        yield self.sim.timeout(fault.duration)
+        self._nic_factors[fault.node].remove(goodput)
+        self._rescale_nic(fault.node)
+        record.end = self.sim.now
+        if self.sim.trace is not None:
+            self.sim.trace.complete("fault.packet_loss", record.start,
+                                    category="fault", node=fault.node,
+                                    loss=fault.loss)
 
     def _apply_disk_stall(self, fault: Fault, record: FaultRecord):
         server = self.cluster.servers[fault.node]

@@ -32,6 +32,16 @@ cards):
     The disk dies at ``at`` and every HDFS replica on it is lost for
     good (no re-replication is modelled).  Reads fall back to surviving
     replicas; a job fails cleanly only when a block has none left.
+``cpu_throttle``
+    Thermal throttling: every DMIPS rate on the node is scaled by
+    ``factor`` for ``duration`` seconds.  Nothing dies and no health
+    check fires — the canonical *gray* failure that turns a node into a
+    straggler factory.
+``packet_loss``
+    The NIC loses a fraction ``loss`` of packets for ``duration``
+    seconds; retransmissions inflate every effective transfer time by
+    ``1 / (1 - loss)`` (goodput shrinks to ``1 - loss`` of line rate).
+    Stacks multiplicatively with ``nic`` degradation on the same link.
 """
 
 from __future__ import annotations
@@ -42,7 +52,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 #: The recognised fault kinds.
-FAULT_KINDS = ("crash", "power", "nic", "disk_stall", "disk_fail")
+FAULT_KINDS = ("crash", "power", "nic", "disk_stall", "disk_fail",
+               "cpu_throttle", "packet_loss")
+
+#: The *gray* kinds: the node stays "up" to every health check while
+#: quietly running slow — exactly the failures mitigation exists for.
+GRAY_KINDS = ("cpu_throttle", "packet_loss", "nic", "disk_stall")
 
 #: Kinds that take a node out of service entirely (kill its processes).
 NODE_DOWN_KINDS = ("crash", "power")
@@ -70,10 +85,13 @@ class Fault:
     duration: float = math.inf
     #: Extra idle-power reboot time after a ``power`` outage ends.
     reboot_s: float = 0.0
-    #: Remaining fraction of NIC line rate during a ``nic`` fault.
+    #: Remaining fraction of NIC line rate during a ``nic`` fault, or of
+    #: DMIPS during a ``cpu_throttle`` fault.
     factor: float = 1.0
     #: I/O time multiplier during a ``disk_stall`` fault.
     slowdown: float = 1.0
+    #: Fraction of packets lost during a ``packet_loss`` fault.
+    loss: float = 0.0
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -96,6 +114,12 @@ class Fault:
             raise ValueError("nic factor must be in (0, 1]")
         if self.kind == "disk_stall" and self.slowdown < 1:
             raise ValueError("disk_stall slowdown must be >= 1")
+        if self.kind == "cpu_throttle" and not 0 < self.factor <= 1:
+            raise ValueError("cpu_throttle factor must be in (0, 1]")
+        if self.kind == "packet_loss" and not 0 < self.loss < 1:
+            # loss 1 would starve the link outright — that's a nic/crash
+            # fault, not a gray one.
+            raise ValueError("packet_loss loss must be in (0, 1)")
 
     def to_dict(self) -> Dict:
         out: Dict = {"kind": self.kind, "node": self.node, "at": self.at}
@@ -103,10 +127,12 @@ class Fault:
             out["duration"] = self.duration
         if self.reboot_s:
             out["reboot_s"] = self.reboot_s
-        if self.kind == "nic":
+        if self.kind in ("nic", "cpu_throttle"):
             out["factor"] = self.factor
         if self.kind == "disk_stall":
             out["slowdown"] = self.slowdown
+        if self.kind == "packet_loss":
+            out["loss"] = self.loss
         return out
 
 
@@ -141,6 +167,20 @@ def disk_failure(node: str, at: float) -> Fault:
     return Fault(kind="disk_fail", node=node, at=at)
 
 
+def cpu_throttle(node: str, at: float, duration: float,
+                 factor: float) -> Fault:
+    """DMIPS drop to ``factor`` of nominal for ``duration`` seconds."""
+    return Fault(kind="cpu_throttle", node=node, at=at, duration=duration,
+                 factor=factor)
+
+
+def packet_loss(node: str, at: float, duration: float,
+                loss: float) -> Fault:
+    """The NIC loses fraction ``loss`` of packets for ``duration`` s."""
+    return Fault(kind="packet_loss", node=node, at=at, duration=duration,
+                 loss=loss)
+
+
 @dataclass(frozen=True)
 class RecurringFault:
     """A seeded stochastic fault process on one node.
@@ -160,6 +200,7 @@ class RecurringFault:
     reboot_s: float = 0.0
     factor: float = 0.5
     slowdown: float = 10.0
+    loss: float = 0.1
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -176,13 +217,14 @@ class RecurringFault:
         # Re-use Fault's kind-parameter validation.
         Fault(kind=self.kind, node=self.node, at=self.start, duration=1.0,
               reboot_s=self.reboot_s, factor=self.factor,
-              slowdown=self.slowdown)
+              slowdown=self.slowdown, loss=self.loss)
 
     def make_fault(self, at: float, duration: float) -> Fault:
         """One concrete outage of this process."""
         return Fault(kind=self.kind, node=self.node, at=at,
                      duration=duration, reboot_s=self.reboot_s,
-                     factor=self.factor, slowdown=self.slowdown)
+                     factor=self.factor, slowdown=self.slowdown,
+                     loss=self.loss)
 
     def to_dict(self) -> Dict:
         out: Dict = {"kind": self.kind, "node": self.node,
@@ -191,10 +233,12 @@ class RecurringFault:
             out["start"] = self.start
         if self.reboot_s:
             out["reboot_s"] = self.reboot_s
-        if self.kind == "nic":
+        if self.kind in ("nic", "cpu_throttle"):
             out["factor"] = self.factor
         if self.kind == "disk_stall":
             out["slowdown"] = self.slowdown
+        if self.kind == "packet_loss":
+            out["loss"] = self.loss
         return out
 
 

@@ -95,7 +95,8 @@ def web_kill_experiment(platform: str = "edison", scale: str = "full",
                         repair_s: Optional[float] = None,
                         seed: int = 20160901,
                         detection_s: float = 0.25,
-                        trace=None, telemetry=None) -> WebChaosResult:
+                        trace=None, telemetry=None,
+                        resilience=None) -> WebChaosResult:
     """Run one concurrency level twice: fault-free, then under ``plan``.
 
     Without an explicit ``plan``, ``victim`` (default: the first web
@@ -104,12 +105,16 @@ def web_kill_experiment(platform: str = "edison", scale: str = "full",
     the only difference is the injected faults.  A
     :class:`repro.telemetry.Telemetry` passed as ``telemetry`` monitors
     the faulted run (the one whose detection latency is interesting).
+    A :class:`repro.resilience.ResilienceConfig` passed as
+    ``resilience`` arms the *faulted* run only — the baseline stays the
+    clean, unmitigated twin the overheads are measured against.
     """
     from ..web import WebServiceDeployment   # deferred: import cycle
     baseline_dep = WebServiceDeployment(platform, scale, seed=seed)
     baseline = baseline_dep.run_level(concurrency, duration=duration,
                                       warmup=warmup)
-    dep = WebServiceDeployment(platform, scale, seed=seed, trace=trace)
+    dep = WebServiceDeployment(platform, scale, seed=seed, trace=trace,
+                               resilience=resilience)
     if plan is None:
         victim = victim or dep.web_nodes[0].server.name
         plan = single_node_kill(victim, kill_at, repair_s)
@@ -178,12 +183,15 @@ def job_kill_experiment(job: str = "wordcount", platform: str = "edison",
                         seed: int = 20160901,
                         detection_s: float = 0.25,
                         deadline_s: float = 100_000.0,
-                        trace=None, telemetry=None) -> JobChaosResult:
+                        trace=None, telemetry=None,
+                        resilience=None) -> JobChaosResult:
     """Run one Table 8 job twice: fault-free, then under ``plan``.
 
     Without an explicit ``plan``, ``victim`` (default: the first slave)
     crashes at ``kill_at`` and is repaired after ``repair_s`` (default:
-    never within the run).  ``telemetry`` monitors the faulted run.
+    never within the run).  ``telemetry`` monitors the faulted run;
+    a ``resilience`` config arms the faulted run only, leaving the
+    baseline as the clean twin.
     """
     from ..mapreduce import JOB_FACTORIES, JobRunner  # deferred: cycle
     from ..mapreduce.runtime import JobFailed
@@ -191,7 +199,7 @@ def job_kill_experiment(job: str = "wordcount", platform: str = "edison",
     baseline_runner = JobRunner(platform, slaves, config=config, seed=seed)
     baseline = baseline_runner.run(spec, deadline_s=deadline_s)
     runner = JobRunner(platform, slaves, config=config, seed=seed,
-                       trace=trace)
+                       trace=trace, resilience=resilience)
     if plan is None:
         victim = victim or runner.slave_servers[0].name
         plan = single_node_kill(victim, kill_at, repair_s)

@@ -81,12 +81,26 @@ class Cpu:
         self._cores = spec.cores
         self._thread_dmips = spec.dmips_per_thread
         self._loaded_dmips = spec.vcore_dmips
+        # Thermal-throttle factor in (0, 1]; the fault injector scales
+        # it while a cpu_throttle fault is active.  1.0 means nominal.
+        self.throttle = 1.0
 
     def service_time(self, work_mi: float) -> float:
         """Seconds one vcore needs for ``work_mi`` MI at full machine load."""
         if work_mi < 0:
             raise ValueError(f"negative work {work_mi!r}")
         return work_mi / self.spec.vcore_dmips
+
+    def busy_time(self, work_mi: float) -> float:
+        """Like :meth:`service_time`, but at the *current* throttle.
+
+        The seconds a vcore is actually occupied right now — what
+        energy attribution must price, since a thermally throttled core
+        burns power for the whole stretched burst.
+        """
+        if work_mi < 0:
+            raise ValueError(f"negative work {work_mi!r}")
+        return work_mi / (self.spec.vcore_dmips * self.throttle)
 
     def rate_for(self, active_vcores: int) -> float:
         """Per-vcore DMIPS when ``active_vcores`` are busy.
@@ -122,6 +136,9 @@ class Cpu:
             rate = (self._thread_dmips
                     if len(vcores.users) <= self._cores
                     else self._loaded_dmips)
+            throttle = self.throttle
+            if throttle != 1.0:
+                rate *= throttle
             yield work_mi / rate
         finally:
             vcores.release(grant)

@@ -23,12 +23,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 import math
+import statistics
 from typing import Dict, List, Optional
 
 from ..cluster import Cluster, hadoop_cluster
 from ..core import paperdata as paper
 from ..hardware import ServerSpec
-from ..sim import Interrupt, RngStreams, Simulation, TimeSeries
+from ..resilience.config import ResilienceConfig
+from ..resilience.ledger import ResilienceLedger
+from ..sim import Interrupt, RngStreams, Simulation, TimeSeries, backoff_delay
 from ..workloads import Dataset
 from . import costs as C
 from .config import HadoopConfig, default_config
@@ -64,6 +67,49 @@ class TaskFailed(Exception):
 
 class JobFailed(Exception):
     """A task exhausted its attempts; the whole job is failed."""
+
+
+class SpeculationWin(Exception):
+    """Interrupt cause: a speculative twin finished first; adopt it."""
+
+    def __init__(self, node: str, out_bytes: float):
+        super().__init__(f"speculative twin won on {node}")
+        self.node = node
+        self.out_bytes = out_bytes
+
+
+class SpeculationKill(Exception):
+    """Interrupt cause: the original attempt finished; twin is redundant."""
+
+
+class _TaskCell:
+    """Shared scoreboard entry between a map task and its speculative twin."""
+
+    __slots__ = ("index", "board", "primary", "hdfs_file", "started_at",
+                 "node", "in_attempt", "spec_process", "speculated", "done",
+                 "won", "winner")
+
+    def __init__(self, index: int, board: "_SpecBoard"):
+        self.index = index
+        self.board = board
+        self.primary = None          # the original task's Process
+        self.hdfs_file = None        # input split, once drawn
+        self.started_at = None       # sim time the running attempt started
+        self.node = None             # node the running attempt occupies
+        self.in_attempt = False      # primary is inside _map_attempt
+        self.spec_process = None     # live speculative Process, if any
+        self.speculated = False      # a twin was ever launched
+        self.done = False            # task completed (either attempt)
+        self.won = False             # the twin finished first
+        self.winner = None           # (node, out_bytes) from the twin
+
+
+class _SpecBoard:
+    """All of a job's task cells plus the completed-attempt durations."""
+
+    def __init__(self):
+        self.cells: List[_TaskCell] = []
+        self.durations: List[float] = []
 
 
 @dataclass(frozen=True)
@@ -161,7 +207,8 @@ class JobRunner:
                  seed: int = 20160901,
                  edison_spec: Optional[ServerSpec] = None,
                  master_spec: Optional[ServerSpec] = None,
-                 trace=None):
+                 trace=None,
+                 resilience: Optional[ResilienceConfig] = None):
         self.platform = platform
         self.slaves = slaves
         self.config = config if config is not None \
@@ -187,6 +234,17 @@ class JobRunner:
         #: (spec, state) of the run in flight — consulted by the
         #: fault-injector listener for node-loss recovery.
         self._active = None
+        # Resilience is strictly opt-in: with it off (or a disabled
+        # config), nothing below exists — no extra RNG stream, no
+        # ledger, no monitor process — so runs stay bit-identical.
+        self.resilience = (resilience if resilience is not None
+                           and resilience.any_enabled else None)
+        self.resilience_ledger = None
+        self._retry_rng = None
+        if self.resilience is not None:
+            self.resilience_ledger = ResilienceLedger()
+            if self.resilience.retries:
+                self._retry_rng = self.rng.stream("resilience.retry")
         self._reserve_daemon_memory()
 
     def _reserve_daemon_memory(self) -> None:
@@ -343,9 +401,24 @@ class JobRunner:
         # Application-master spin-up + job initialisation lead.
         yield C.ALLOC_LEAD_S[self.platform]
         pool = _InputPool(input_files, self.rng.stream("am"))
-        maps = [self.sim.process(
-            self._map_task(spec, state, pool, map_factor),
-            name=f"map-{i}") for i in range(spec.map_tasks)]
+        if self.resilience is not None and self.resilience.speculation:
+            board = _SpecBoard()
+            maps = []
+            for i in range(spec.map_tasks):
+                cell = _TaskCell(i, board)
+                proc = self.sim.process(
+                    self._map_task(spec, state, pool, map_factor, cell=cell),
+                    name=f"map-{i}")
+                cell.primary = proc
+                board.cells.append(cell)
+                maps.append(proc)
+            self.sim.process(
+                self._speculation_monitor(spec, state, board, map_factor),
+                name="speculation-monitor")
+        else:
+            maps = [self.sim.process(
+                self._map_task(spec, state, pool, map_factor),
+                name=f"map-{i}") for i in range(spec.map_tasks)]
         reduces = []
         if spec.reduce_tasks > 0:
             yield state.slowstart_event
@@ -377,7 +450,8 @@ class JobRunner:
     def _map_task(self, spec: JobSpec, state: "_JobState",
                   pool: Optional["_InputPool"], factor: float,
                   recovery_from: Optional[str] = None,
-                  fixed_file=None, counts: bool = True):
+                  fixed_file=None, counts: bool = True,
+                  cell: Optional[_TaskCell] = None):
         """One map task: allocate, attempt, retry; record its output.
 
         With ``recovery_from`` set this is a re-execution of a map whose
@@ -386,12 +460,19 @@ class JobRunner:
         settles the pending recovery instead of advancing the original
         map counter (unless ``counts``: the phase was still open when
         the node died, so the counter was decremented and must recover).
+
+        With a ``cell`` (speculation enabled), the task publishes its
+        attempt progress there and a speculative twin may race it: the
+        first finisher wins, the loser is killed and its joules charged
+        to the resilience ledger.
         """
         hdfs_file = fixed_file
         faults = self.sim.faults
         failures = 0
         launches = 0
         took_split = recovery_from is not None   # recoveries keep fixed_file
+        win_node = None
+        out_bytes = 0.0
         while True:
             launches += 1
             if launches > MAX_TASK_LAUNCHES:
@@ -409,6 +490,12 @@ class JobRunner:
                 # expiry window closed; give it back and re-request.
                 self.yarn.release(grant)
                 continue
+            if cell is not None and cell.won:
+                # The speculative twin finished while this side waited
+                # for a container: adopt its output, skip the attempt.
+                self.yarn.release(grant)
+                win_node, out_bytes = cell.winner
+                break
             # Draw the input split at the first grant that survives the
             # liveness check — not the first launch: a grant churned back
             # because its node was dead must not cost the task its split.
@@ -419,10 +506,16 @@ class JobRunner:
                     state.placed_maps += 1
                     if local:
                         state.local_maps += 1
+                if cell is not None:
+                    cell.hdfs_file = hdfs_file
             attempt_start = self.sim.now
             process = self.sim.active_process
             if faults is not None:
                 faults.bind(grant.node, process)
+            if cell is not None:
+                cell.started_at = attempt_start
+                cell.node = grant.node
+                cell.in_attempt = True
             try:
                 out_bytes = yield from self._map_attempt(
                     spec, grant.node, hdfs_file, factor)
@@ -435,8 +528,19 @@ class JobRunner:
                     raise JobFailed(
                         f"{spec.name}: a map task died "
                         f"{MAX_TASK_ATTEMPTS} times")
+                yield from self._retry_backoff(failures)
                 continue
-            except Interrupt:
+            except Interrupt as exc:
+                if cell is not None and isinstance(exc.cause, SpeculationWin):
+                    # Lost the race: the twin's output stands, this
+                    # attempt's partial work is the price of insurance.
+                    self._charge_speculation(grant.node,
+                                             self.sim.now - attempt_start)
+                    self._trace_attempt("map", grant.node, attempt_start,
+                                        launches - 1, ok=False, killed=True,
+                                        lost_race=True)
+                    win_node, out_bytes = exc.cause.node, exc.cause.out_bytes
+                    break
                 # The node died under the attempt; the retry allocates
                 # on a surviving node and is not charged as a failure.
                 state.failed_attempts += 1
@@ -448,19 +552,32 @@ class JobRunner:
                 # help, fail the whole job cleanly.
                 raise JobFailed(f"{spec.name}: {exc}") from exc
             finally:
+                if cell is not None:
+                    cell.in_attempt = False
+                    cell.started_at = None
                 if faults is not None:
                     faults.unbind(grant.node, process)
                 self.yarn.release(grant)
             self._trace_attempt("map", grant.node, attempt_start,
                                 launches - 1, ok=True, out_bytes=out_bytes)
-            state.record_map_output(grant.node, out_bytes)
-            state.completed_map(grant.node, hdfs_file)
-            if recovery_from is None:
-                state.map_finished(self.sim)
-            else:
-                state.recovery_completed(self.sim, recovery_from,
-                                         grant.node, out_bytes, counts)
-            return
+            if cell is not None:
+                cell.board.durations.append(self.sim.now - attempt_start)
+            win_node = grant.node
+            break
+        if cell is not None:
+            cell.done = True
+            if (not cell.won and cell.spec_process is not None
+                    and cell.spec_process.is_alive):
+                # First-finisher-wins: the twin is now redundant.
+                cell.spec_process.interrupt(SpeculationKill())
+        state.record_map_output(win_node, out_bytes)
+        state.completed_map(win_node, hdfs_file)
+        if recovery_from is None:
+            state.map_finished(self.sim)
+        else:
+            state.recovery_completed(self.sim, recovery_from,
+                                     win_node, out_bytes, counts)
+        return
 
     def _map_attempt(self, spec: JobSpec, node: str, hdfs_file,
                      factor: float):
@@ -488,6 +605,162 @@ class JobRunner:
         yield C.TASK_COMMIT_S
         yield from self.yarn.master_commit()
         return out_bytes
+
+    # -- speculative execution (LATE) --------------------------------------
+
+    def _retry_backoff(self, failures: int):
+        """Process generator: seeded backoff before a failed attempt retries.
+
+        A no-op without resilience — the historical behaviour is an
+        immediate re-request on the next heartbeat.
+        """
+        if self._retry_rng is None:
+            return
+        policy = self.resilience.retry_policy
+        self.resilience_ledger.count("retries")
+        yield backoff_delay(self._retry_rng, failures - 1,
+                            policy.backoff_base_s, policy.backoff_cap_s,
+                            policy.jitter)
+
+    def _charge_speculation(self, node: str, seconds: float) -> None:
+        """Bill a killed attempt's partial work to the resilience ledger."""
+        ledger = self.resilience_ledger
+        ledger.charge("speculation", node, seconds,
+                      ledger.marginal_vcore_watts(self.cluster.servers[node]))
+        ledger.count("speculative_kills")
+
+    def _estimate_map_s(self, spec: JobSpec, factor: float) -> float:
+        """Cost-model anchor for the straggler baseline.
+
+        Used until enough attempts have completed for the running
+        median to be trusted; deliberately coarse (CPU at the loaded
+        vcore rate plus the launch/commit floors — I/O omitted), since
+        it only has to be the right order of magnitude.
+        """
+        split = spec.input_bytes / spec.map_tasks if spec.dataset else 0.0
+        out = (split * spec.dataset.map_output_ratio if spec.dataset else 0.0)
+        mi = (spec.costs.map_fixed_mi
+              + spec.costs.map_mi_per_mb * split / 1e6
+              + spec.costs.sort_mi_per_mb * out / 1e6
+              + C.JVM_START_MI) * factor
+        rate = self.slave_servers[0].cpu.spec.vcore_dmips
+        return C.TASK_LAUNCH_S + C.TASK_COMMIT_S + mi / rate
+
+    def _speculation_monitor(self, spec: JobSpec, state: "_JobState",
+                             board: _SpecBoard, factor: float):
+        """Job-wide straggler scan, LATE-style.
+
+        Every ``check_interval_s`` the monitor compares each running
+        attempt's elapsed time against ``late_factor`` times the median
+        completed-attempt duration (cost-model estimate until
+        ``min_completed`` attempts exist) and launches capped
+        speculative twins for the laggards.
+        """
+        cfg = self.resilience.speculation_cfg
+        estimate = self._estimate_map_s(spec, factor)
+        while not state.all_maps_done.triggered:
+            yield cfg.check_interval_s
+            if state.all_maps_done.triggered:
+                return
+            if len(board.durations) >= cfg.min_completed:
+                baseline = statistics.median(board.durations)
+            else:
+                baseline = estimate
+            threshold = cfg.late_factor * baseline
+            outstanding = sum(
+                1 for c in board.cells
+                if c.spec_process is not None and c.spec_process.is_alive)
+            now = self.sim.now
+            # LATE launches against the *worst* stragglers first: with a
+            # capped twin pool, spending a slot on a 2x laggard while a
+            # 10x one waits forfeits most of the tail saving.  Elapsed
+            # time stands in for estimated time-to-end (same input split
+            # size, so longer-running means further from done); ties keep
+            # task-index order, which keeps the scan deterministic.
+            laggards = sorted(
+                (c for c in board.cells
+                 if not (c.done or c.speculated or c.started_at is None)
+                 and now - c.started_at > threshold),
+                key=lambda c: now - c.started_at, reverse=True)
+            for cell in laggards:
+                if outstanding >= cfg.max_outstanding:
+                    break
+                cell.speculated = True
+                outstanding += 1
+                self.resilience_ledger.count("speculative_launches")
+                cell.spec_process = self.sim.process(
+                    self._speculative_map(spec, cell, factor),
+                    name=f"spec-map-{cell.index}")
+                if self.sim.trace is not None:
+                    self.sim.trace.instant(
+                        "speculation.launch", category="resilience",
+                        task=cell.index, elapsed_s=now - cell.started_at,
+                        baseline_s=baseline)
+
+    def _speculative_map(self, spec: JobSpec, cell: _TaskCell,
+                         factor: float):
+        """A speculative twin of one straggling map attempt.
+
+        Races the original: whoever finishes first wins, the loser is
+        killed and its joules land on the resilience ledger.  The twin
+        is deliberately second-class — its container request gives up
+        after a bounded number of heartbeats so speculation never
+        starves first attempts on a full cluster.
+        """
+        ledger = self.resilience_ledger
+        cfg = self.resilience.speculation_cfg
+        faults = self.sim.faults
+        avoid = (cell.node,) if cell.node is not None else ()
+        try:
+            grant = yield from self.yarn.allocate(
+                spec.map_mem_mb,
+                max_heartbeats=cfg.allocation_heartbeats,
+                avoid=avoid)
+        except Interrupt:
+            return                       # killed while still queueing: free
+        if grant is None:
+            ledger.count("speculative_abandoned")
+            # The cluster was full; let the monitor try again later,
+            # when the map tail has freed slots.
+            cell.speculated = False
+            return
+        if cell.done or (faults is not None and not faults.is_up(grant.node)):
+            self.yarn.release(grant)
+            if cell.done:
+                ledger.count("speculative_abandoned")
+            return
+        start = self.sim.now
+        process = self.sim.active_process
+        if faults is not None:
+            faults.bind(grant.node, process)
+        try:
+            out_bytes = yield from self._map_attempt(
+                spec, grant.node, cell.hdfs_file, factor)
+        except (TaskFailed, Interrupt, BlockUnavailable):
+            # Killed by the winner, lost its node, or died on its own:
+            # either way the partial work is pure overhead.
+            self._charge_speculation(grant.node, self.sim.now - start)
+            self._trace_attempt("map", grant.node, start, 0, ok=False,
+                                speculative=True)
+            return
+        finally:
+            if faults is not None:
+                faults.unbind(grant.node, process)
+            self.yarn.release(grant)
+        if cell.done:
+            # Photo finish, original side already committed: duplicate.
+            self._charge_speculation(grant.node, self.sim.now - start)
+            self._trace_attempt("map", grant.node, start, 0, ok=False,
+                                speculative=True)
+            return
+        cell.board.durations.append(self.sim.now - start)
+        cell.won = True
+        cell.winner = (grant.node, out_bytes)
+        ledger.count("speculative_wins")
+        self._trace_attempt("map", grant.node, start, 0, ok=True,
+                            speculative=True, out_bytes=out_bytes)
+        if cell.in_attempt:
+            cell.primary.interrupt(SpeculationWin(grant.node, out_bytes))
 
     # -- reduce side ----------------------------------------------------------
 
@@ -522,6 +795,7 @@ class JobRunner:
                     raise JobFailed(
                         f"{spec.name}: a reduce task died "
                         f"{MAX_TASK_ATTEMPTS} times")
+                yield from self._retry_backoff(failures)
                 continue
             except Interrupt:
                 # Node loss mid-reduce: the whole attempt (shuffle
@@ -782,9 +1056,10 @@ def run_job(platform: str, slaves: int, spec: JobSpec,
             config: Optional[HadoopConfig] = None, seed: int = 20160901,
             edison_spec: Optional[ServerSpec] = None,
             master_spec: Optional[ServerSpec] = None,
-            deadline_s: float = 100_000.0, trace=None) -> JobReport:
+            deadline_s: float = 100_000.0, trace=None,
+            resilience: Optional[ResilienceConfig] = None) -> JobReport:
     """Convenience wrapper: build a fresh cluster and run one job."""
     runner = JobRunner(platform, slaves, config=config, seed=seed,
                        edison_spec=edison_spec, master_spec=master_spec,
-                       trace=trace)
+                       trace=trace, resilience=resilience)
     return runner.run(spec, deadline_s=deadline_s)

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from ..hardware.server import Server
-from ..sim import Simulation
+from ..sim import Simulation, heartbeat_jitter
 from .config import HadoopConfig
 
 if TYPE_CHECKING:   # the scheduler never touches the global random module:
@@ -138,13 +138,16 @@ class YarnScheduler:
 
     def _try_grant(self, mem_mb: int,
                    preferred: Sequence[str],
-                   allow_any: bool) -> Optional[ContainerGrant]:
+                   allow_any: bool,
+                   avoid: Sequence[str] = ()) -> Optional[ContainerGrant]:
         candidates = [n for n in preferred
                       if n in self.nodes and self.nodes[n].can_fit(mem_mb)]
         local = bool(candidates)
         if not candidates and allow_any:
             candidates = [name for name, nm in self.nodes.items()
                           if nm.can_fit(mem_mb)]
+        if avoid:
+            candidates = [n for n in candidates if n not in avoid]
         if not candidates:
             return None
         # Least-loaded placement among the candidates.
@@ -159,19 +162,28 @@ class YarnScheduler:
         return ContainerGrant(node=name, mem_mb=mem_mb, local=local)
 
     def allocate(self, mem_mb: int,
-                 preferred: Sequence[str] = ()):
+                 preferred: Sequence[str] = (),
+                 max_heartbeats: Optional[int] = None,
+                 avoid: Sequence[str] = ()):
         """Process generator: wait for a container, heartbeat by heartbeat.
 
         Returns a :class:`ContainerGrant`.  The first heartbeats insist
         on a preferred (data-local) node; afterwards any node will do.
+        With ``max_heartbeats`` set, the request gives up after that
+        many unsatisfied rounds and returns ``None`` — how speculative
+        attempts avoid camping on a full cluster's queue.  Nodes in
+        ``avoid`` are never granted (a speculative twin must not land
+        beside the straggler it is insuring against).
         """
         if mem_mb < 1:
             raise ValueError("mem_mb must be >= 1")
         requested_at = self.sim.now
         heartbeats = 0
         while True:
+            if max_heartbeats is not None and heartbeats >= max_heartbeats:
+                return None
             # Requests ride the next NM heartbeat (jittered).
-            yield self.rng.uniform(0.3, 1.0) * self.config.heartbeat_s
+            yield heartbeat_jitter(self.rng, self.config.heartbeat_s)
             if self.master is not None:
                 # The RM does real work per scheduling round; a weak
                 # master serialises every waiting request through its
@@ -182,7 +194,7 @@ class YarnScheduler:
                     self.RM_MI_PER_ROUND * self._master_penalty())
             allow_any = (not preferred
                          or heartbeats >= self.LOCALITY_WAIT_HEARTBEATS)
-            grant = self._try_grant(mem_mb, preferred, allow_any)
+            grant = self._try_grant(mem_mb, preferred, allow_any, avoid)
             if grant is not None:
                 if self.sim.trace is not None:
                     self.sim.trace.complete(

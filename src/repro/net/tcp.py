@@ -82,8 +82,16 @@ class TcpListener:
         """
         stats = ConnectionStats()
         start = self.sim.now
-        retries = SYN_RETRY_DELAYS if max_retries is None \
-            else SYN_RETRY_DELAYS[:max_retries]
+        if max_retries is None:
+            retries = SYN_RETRY_DELAYS
+        elif max_retries <= len(SYN_RETRY_DELAYS):
+            retries = SYN_RETRY_DELAYS[:max_retries]
+        else:
+            # Honour budgets past the kernel table by repeating the
+            # final backoff step (Linux clamps at TCP_RTO_MAX the same
+            # way) instead of silently capping the caller's budget.
+            retries = SYN_RETRY_DELAYS + (SYN_RETRY_DELAYS[-1],) * (
+                max_retries - len(SYN_RETRY_DELAYS))
         attempt = 0
         while True:
             if not self.backlog_full:

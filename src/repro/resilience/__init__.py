@@ -1,0 +1,44 @@
+"""Graceful degradation under gray failures — and its energy price.
+
+Gray failures (a throttled CPU, a lossy NIC) don't kill nodes, they
+make them *slow*, which is worse: detectors tuned for silence never
+fire, and one limping server drags a whole tier's tail latency past
+the paper's 3-second QoS bound.  This package holds the mitigations
+the systems literature grew for exactly that — LATE-style speculative
+execution for MapReduce stragglers, circuit breakers, request hedging,
+capped-backoff retries and queue-depth load shedding for the web tier
+— plus the part evaluations usually omit: a ledger that prices every
+duplicated or discarded byte of work in joules, so the paper's
+work-done-per-joule metric can be quoted *net of the resilience tax*.
+
+Everything here is strictly opt-in.  With no :class:`ResilienceConfig`
+attached (or a disabled one), every run is bit-identical to a build
+without this package — the same hard guarantee `repro.trace`,
+`repro.telemetry` and `repro.faults` make.
+"""
+
+from .breaker import CircuitBreaker
+from .config import (AdmissionConfig, BreakerConfig, HedgeConfig,
+                     ResilienceConfig, RetryPolicy, SpeculationConfig)
+from .ledger import ResilienceLedger
+
+__all__ = [
+    "AdmissionConfig", "BreakerConfig", "CircuitBreaker", "HedgeConfig",
+    "ResilienceArm", "ResilienceConfig", "ResilienceLedger",
+    "ResilienceTaxReport", "RetryPolicy", "SpeculationConfig",
+    "job_gray_plan", "job_resilience_experiment", "web_gray_plan",
+    "web_resilience_experiment",
+]
+
+_REPORT_NAMES = ("ResilienceArm", "ResilienceTaxReport", "job_gray_plan",
+                 "job_resilience_experiment", "web_gray_plan",
+                 "web_resilience_experiment")
+
+
+def __getattr__(name):
+    # Deferred: report builds on repro.web / repro.mapreduce, which
+    # import this package's config and ledger — a cycle if done eagerly.
+    if name in _REPORT_NAMES:
+        from . import report
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,89 @@
+"""The resilience ledger: what every mitigation cost in joules.
+
+Mitigations buy availability with duplicated or discarded work — a
+killed speculative attempt, the losing leg of a hedged request, the
+cheap error reply sent to a shed call.  None of that work reaches the
+throughput numerator, but all of it reaches the energy meter, so the
+paper's work-done-per-joule metric silently pays for it.  The ledger
+makes that price explicit: every mechanism charges its waste here, by
+category and by node, and the tax report reads it back out.
+
+Waste is priced at the *marginal* vcore rate — the slope of the linear
+power model, ``(max_w - min_w) / vcores`` — because the node's idle
+floor is burned whether or not the duplicate work runs.  That matches
+how :mod:`repro.energy` already attributes incremental load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..energy.account import MitigationCosts
+
+#: Ledger charge categories.
+CATEGORIES = ("speculation", "hedge", "shed", "retry")
+
+
+class ResilienceLedger:
+    """Counters and joule charges accumulated by every mitigation."""
+
+    def __init__(self):
+        self.counters: Dict[str, int] = {
+            "speculative_launches": 0,
+            "speculative_wins": 0,
+            "speculative_kills": 0,
+            "speculative_abandoned": 0,
+            "hedges": 0,
+            "hedge_wins": 0,
+            "sheds": 0,
+            "retries": 0,
+            "breaker_opens": 0,
+        }
+        self.waste_joules: Dict[str, float] = {c: 0.0 for c in CATEGORIES}
+        self.waste_seconds: Dict[str, float] = {c: 0.0 for c in CATEGORIES}
+        self.node_joules: Dict[str, float] = {}
+
+    def count(self, counter: str, n: int = 1) -> None:
+        self.counters[counter] += n
+
+    def charge(self, category: str, node: str, seconds: float,
+               watts: float) -> None:
+        """Attribute ``seconds`` of wasted work on ``node`` at ``watts``."""
+        if category not in self.waste_joules:
+            raise ValueError(f"unknown ledger category {category!r}")
+        if seconds < 0 or watts < 0:
+            raise ValueError("seconds and watts must be >= 0")
+        joules = seconds * watts
+        self.waste_joules[category] += joules
+        self.waste_seconds[category] += seconds
+        self.node_joules[node] = self.node_joules.get(node, 0.0) + joules
+
+    @staticmethod
+    def marginal_vcore_watts(server) -> float:
+        """Marginal power of one busy vcore under the linear power model."""
+        power = server.spec.power
+        return (power.max_w - power.min_w) / server.cpu.spec.vcores
+
+    @property
+    def total_waste_joules(self) -> float:
+        return sum(self.waste_joules.values())
+
+    def to_mitigation_costs(self) -> MitigationCosts:
+        return MitigationCosts(
+            speculative_j=self.waste_joules["speculation"],
+            hedge_j=self.waste_joules["hedge"],
+            shed_j=self.waste_joules["shed"],
+            retry_j=self.waste_joules["retry"],
+        )
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "counters": dict(self.counters),
+            "waste_joules": {k: round(v, 6)
+                             for k, v in self.waste_joules.items()},
+            "waste_seconds": {k: round(v, 6)
+                              for k, v in self.waste_seconds.items()},
+            "node_joules": {k: round(v, 6)
+                            for k, v in sorted(self.node_joules.items())},
+            "total_waste_joules": round(self.total_waste_joules, 6),
+        }

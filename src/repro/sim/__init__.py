@@ -4,11 +4,11 @@ from .errors import EmptySchedule, Interrupt, SimulationError
 from .kernel import AllOf, AnyOf, Event, Process, Simulation, Timeout
 from .monitor import TimeSeries, periodic_sampler
 from .resources import Container, Request, Resource, Store
-from .rng import RngStreams, derive_seed
+from .rng import RngStreams, backoff_delay, derive_seed, heartbeat_jitter
 
 __all__ = [
     "AllOf", "AnyOf", "Container", "EmptySchedule", "Event", "Interrupt",
     "Process", "Request", "Resource", "RngStreams", "Simulation",
-    "SimulationError", "Store", "TimeSeries", "Timeout", "derive_seed",
-    "periodic_sampler",
+    "SimulationError", "Store", "TimeSeries", "Timeout", "backoff_delay",
+    "derive_seed", "heartbeat_jitter", "periodic_sampler",
 ]

@@ -18,6 +18,46 @@ def derive_seed(root_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big") >> 1
 
 
+def heartbeat_jitter(rng: random.Random, base_s: float,
+                     low: float = 0.3, high: float = 1.0) -> float:
+    """One jittered wait: ``uniform(low, high) * base_s``.
+
+    Heartbeat-paced pollers (YARN allocation, retry probes) de-phase
+    their wakeups with this draw; pulling it through the caller's named
+    stream keeps every delay reproducible from the run seed.  The
+    default ``(0.3, 1.0)`` window and draw order match the historical
+    YARN heartbeat jitter bit-for-bit.
+    """
+    if base_s < 0:
+        raise ValueError("base_s must be >= 0")
+    if not 0 <= low <= high:
+        raise ValueError("need 0 <= low <= high")
+    return rng.uniform(low, high) * base_s
+
+
+def backoff_delay(rng: random.Random, attempt: int, base_s: float,
+                  cap_s: float, jitter: float = 0.5) -> float:
+    """Capped exponential backoff with seeded jitter.
+
+    Attempt ``n`` (0-based) waits ``min(cap_s, base_s * 2**n)`` scaled
+    by a uniform factor in ``[1 - jitter, 1]`` drawn from ``rng`` — the
+    "decorrelated enough" jitter that keeps retry herds from
+    re-synchronising while staying reproducible from the run seed.
+    """
+    if attempt < 0:
+        raise ValueError("attempt must be >= 0")
+    if base_s <= 0 or cap_s <= 0:
+        raise ValueError("base_s and cap_s must be > 0")
+    if not 0 <= jitter <= 1:
+        raise ValueError("jitter must be in [0, 1]")
+    delay = base_s * (2.0 ** attempt)
+    if delay > cap_s:
+        delay = cap_s
+    if jitter:
+        delay *= 1.0 - jitter * rng.random()
+    return delay
+
+
 class RngStreams:
     """A registry of named, independently seeded ``random.Random`` streams."""
 

@@ -100,11 +100,18 @@ class NodeAgent:
             if record.ok:
                 delays.append(record.total_s)
                 histogram.observe(record.total_s)
-            else:
+            elif not record.shed:
+                # Shed 503s are deliberate backpressure the resilient
+                # client retries elsewhere; they show up in
+                # web_shed_total, and any call the user actually lost
+                # is charged through client_failures instead.
                 self._errors += 1
         db.record(now, "web_requests_total", float(self._record_index),
                   node=node)
         db.record(now, "web_errors_total", float(self._errors), node=node)
+        if web.resilience is not None:
+            db.record(now, "web_shed_total", float(web.shed_calls),
+                      node=node)
         if delays:
             db.record(now, "web_mean_delay_s",
                       sum(delays) / len(delays), node=node)
@@ -171,6 +178,12 @@ class Telemetry:
         self.sim = None
         self.agents: List[NodeAgent] = []
         self.meta: Dict[str, object] = {}
+        # Client-observed failures reported by the driver/probes: the
+        # server never logs these (a timed-out call finishes "OK" after
+        # the user has left), so they arrive by notification instead of
+        # by scrape.  See SloReport.client_failures.
+        self.client_timeouts = 0
+        self.client_give_ups = 0
 
     # -- attachment ------------------------------------------------------
 
@@ -180,6 +193,9 @@ class Telemetry:
                          for web in deployment.web_nodes}
         self.meta.update(kind="web", platform=deployment.platform,
                          scale=deployment.scale)
+        # Let the deployment push client-side outcomes (timeouts,
+        # give-ups) to us — they exist only at the client.
+        deployment.telemetry = self
         self._attach(deployment.sim, deployment.cluster,
                      web_by_server=web_by_server,
                      meter=deployment.meter, until=until)
@@ -213,6 +229,14 @@ class Telemetry:
             sim.process(self.alerts.run(sim, until=until),
                         name="telemetry-alerts")
 
+    def note_client_outcomes(self, timeouts: int = 0,
+                             give_ups: int = 0) -> None:
+        """Record client-observed failures no server-side scrape sees."""
+        if timeouts < 0 or give_ups < 0:
+            raise ValueError("client outcome counts must be >= 0")
+        self.client_timeouts += timeouts
+        self.client_give_ups += give_ups
+
     # -- reports ---------------------------------------------------------
 
     def slo_report(self) -> SloReport:
@@ -228,7 +252,9 @@ class Telemetry:
         histogram = self.metrics.histogram("web.delay_s")
         p95 = histogram.percentile(95.0) if histogram.count else None
         return SloReport(spec=self.slo, requests=requests, errors=errors,
-                         p95_s=p95)
+                         p95_s=p95,
+                         client_failures=(self.client_timeouts
+                                          + self.client_give_ups))
 
     def detection_report(self) -> DetectionReport:
         """Alert firings scored against the injector's ground truth."""

@@ -40,23 +40,43 @@ class SloSpec:
 
 @dataclass(frozen=True)
 class SloReport:
-    """Measured service levels vs. an :class:`SloSpec`."""
+    """Measured service levels vs. an :class:`SloSpec`.
+
+    ``client_failures`` are outcomes only the client saw: give-ups
+    after exhausted SYN retries and calls abandoned at the client
+    timeout.  A server-side log never records them (a timed-out call
+    completes "successfully" on the server after the user left), yet
+    the user experienced an outage — so each one counts as one more
+    request *and* one more error in every availability figure below.
+    """
 
     spec: SloSpec
     requests: int
     errors: int
     p95_s: Optional[float]
+    client_failures: int = 0
+
+    @property
+    def total_requests(self) -> int:
+        """Server-observed requests plus client-only failures."""
+        return self.requests + self.client_failures
+
+    @property
+    def total_errors(self) -> int:
+        """Server-observed errors plus client-only failures."""
+        return self.errors + self.client_failures
 
     @property
     def availability(self) -> Optional[float]:
-        if self.requests == 0:
+        if self.total_requests == 0:
             return None
-        return 1.0 - self.errors / self.requests
+        return 1.0 - self.total_errors / self.total_requests
 
     @property
     def error_budget(self) -> int:
         """Errors the availability target allows for this many requests."""
-        return int(self.requests * (1.0 - self.spec.availability_target))
+        return int(self.total_requests
+                   * (1.0 - self.spec.availability_target))
 
     @property
     def budget_consumed(self) -> Optional[float]:
@@ -64,7 +84,7 @@ class SloReport:
         budget = self.error_budget
         if budget == 0:
             return None
-        return self.errors / budget
+        return self.total_errors / budget
 
     @property
     def availability_met(self) -> Optional[bool]:
@@ -85,6 +105,7 @@ class SloReport:
             "latency_p95_target_s": self.spec.latency_p95_s,
             "requests": self.requests,
             "errors": self.errors,
+            "client_failures": self.client_failures,
             "availability": self.availability,
             "p95_s": self.p95_s,
             "error_budget": self.error_budget,
@@ -99,11 +120,14 @@ class SloReport:
             availability_target=data["availability_target"],
             latency_p95_s=data["latency_p95_target_s"]),
             requests=data["requests"], errors=data["errors"],
-            p95_s=data["p95_s"])
+            p95_s=data["p95_s"],
+            client_failures=data.get("client_failures", 0))
 
     def lines(self) -> List[str]:
-        out = [f"SLO report ({self.requests} requests, "
-               f"{self.errors} errors)"]
+        head = f"SLO report ({self.requests} requests, {self.errors} errors"
+        if self.client_failures:
+            head += f", {self.client_failures} client-side failures"
+        out = [head + ")"]
         availability = self.availability
         if availability is None:
             out.append("  availability: no requests observed")
@@ -114,7 +138,7 @@ class SloReport:
                        f"-- {verdict}")
             consumed = self.budget_consumed
             if consumed is not None:
-                out.append(f"  error budget: {self.errors}/"
+                out.append(f"  error budget: {self.total_errors}/"
                            f"{self.error_budget} ({consumed:.0%} consumed)")
         if self.p95_s is None:
             out.append("  latency p95: no successful calls observed")

@@ -89,6 +89,11 @@ class UrllibProbe:
             if attempt >= len(SYN_RETRY_DELAYS):
                 if sim.now >= self.collect_after:
                     self.log.give_ups += 1
+                    telemetry = self.deployment.telemetry
+                    if telemetry is not None:
+                        # A give-up exists only here at the client; no
+                        # server log will ever scrape it into the SLO.
+                        telemetry.note_client_outcomes(give_ups=1)
                 return
             yield sim.timeout(SYN_RETRY_DELAYS[attempt])
             attempt += 1

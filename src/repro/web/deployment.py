@@ -15,6 +15,9 @@ from typing import List, Optional
 
 from ..cluster import web_cluster
 from ..hardware import ServerSpec
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.config import ResilienceConfig
+from ..resilience.ledger import ResilienceLedger
 from ..sim import RngStreams, Simulation
 from . import params as P
 from .httperf import HttperfDriver, LevelResult
@@ -29,7 +32,8 @@ class WebServiceDeployment:
                  seed: int = 20160901,
                  edison_spec: Optional[ServerSpec] = None,
                  limits: Optional[P.ConnectionLimits] = None,
-                 trace=None):
+                 trace=None,
+                 resilience: Optional[ResilienceConfig] = None):
         if platform not in P.COSTS:
             raise ValueError(f"unknown platform {platform!r}")
         self.platform = platform
@@ -62,6 +66,32 @@ class WebServiceDeployment:
             for i, s in enumerate(web_servers)
         ]
         self.client_names = [f"client-{i}" for i in range(8)]
+        #: Set by :meth:`repro.telemetry.Telemetry.attach_web` so the
+        #: deployment can report client-side outcomes (timeouts) that
+        #: no server-side scrape can see.
+        self.telemetry = None
+        #: The driver of the most recent :meth:`run_level` (exposes
+        #: collected per-call delays for percentile reporting).
+        self.last_driver: Optional[HttperfDriver] = None
+        # Resilience is strictly opt-in; with it off nothing below
+        # exists and runs stay bit-identical to the historical path.
+        self.resilience = (resilience if resilience is not None
+                           and resilience.any_enabled else None)
+        self.resilience_ledger = None
+        self.breakers = None
+        self._retry_rng = None
+        if self.resilience is not None:
+            self.resilience_ledger = ResilienceLedger()
+            self._retry_rng = self.rng.stream("resilience.retry")
+            if self.resilience.breakers:
+                self.breakers = {
+                    w.server.name: CircuitBreaker(
+                        self.sim, w.server.name,
+                        self.resilience.breaker_cfg)
+                    for w in self.web_nodes}
+            for web in self.web_nodes:
+                web.enable_resilience(self.resilience,
+                                      self.resilience_ledger)
         self._reserve_memory()
         self.meter = self.cluster.attach_meter(interval=0.25)
 
@@ -113,12 +143,15 @@ class WebServiceDeployment:
 
     def run_level(self, concurrency: int, duration: float = 4.0,
                   warmup: float = 1.0,
-                  calls: Optional[int] = None) -> LevelResult:
+                  calls: Optional[int] = None,
+                  collect_delays: bool = False) -> LevelResult:
         """Drive one httperf concurrency level and report the metrics.
 
         The measurement window is ``[warmup, duration]``; the paper's
         3-minute levels are shortened because simulated rates, not
-        wall-clock confidence, set the fidelity here.
+        wall-clock confidence, set the fidelity here.  With
+        ``collect_delays`` the driver keeps every in-window per-call
+        delay (``self.last_driver.delays``) for percentile reporting.
         """
         if duration <= warmup:
             raise ValueError("duration must exceed warmup")
@@ -132,12 +165,24 @@ class WebServiceDeployment:
         driver = HttperfDriver(
             self.sim, self.cluster.topology, self.web_nodes,
             self.client_names, self.workload,
-            self.rng.stream("arrivals"), collect_after=warmup)
+            self.rng.stream("arrivals"), collect_after=warmup,
+            resilience=self.resilience, ledger=self.resilience_ledger,
+            retry_rng=self._retry_rng, breakers=self.breakers,
+            collect_delays=collect_delays)
+        self.last_driver = driver
         self.sim.process(driver.generate(concurrency, calls, until=duration))
         self.meter.start(until=duration)
         self.sim.run(until=duration)
         window = duration - warmup
         stats = driver.stats
+        if self.resilience_ledger is not None and self.breakers is not None:
+            self.resilience_ledger.counters["breaker_opens"] = sum(
+                b.open_count for b in self.breakers.values())
+        if self.telemetry is not None:
+            # Client-side failures (give-ups after the timeout) never
+            # reach a server-side log; hand them to the monitoring
+            # plane so the SLO error budget charges them too.
+            self.telemetry.note_client_outcomes(timeouts=stats.timeout_calls)
         counted = max(1, stats.ok_calls)
         power_samples = [v for t, v in self.meter.series.pairs()
                          if t >= warmup]

@@ -11,9 +11,9 @@ and round-robin to the 8 client hosts (the httperf role).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
-from ..sim import AnyOf, Timeout
+from ..sim import AnyOf, Timeout, backoff_delay
 from . import params as P
 from .nodes import SYN_RETRY_DELAYS, WebServerNode
 
@@ -75,7 +75,9 @@ class HttperfDriver:
 
     def __init__(self, sim, topology, web_nodes: List[WebServerNode],
                  client_names: List[str], workload: P.WebWorkload, rng,
-                 collect_after: float = 0.0):
+                 collect_after: float = 0.0,
+                 resilience=None, ledger=None, retry_rng=None,
+                 breakers=None, collect_delays: bool = False):
         if not web_nodes or not client_names:
             raise ValueError("need web nodes and client hosts")
         self.sim = sim
@@ -86,6 +88,19 @@ class HttperfDriver:
         self.rng = rng
         self.collect_after = collect_after
         self.stats = LevelStats()
+        # -- resilience (all None/off on the historical path) ------------
+        #: :class:`repro.resilience.ResilienceConfig` or None.
+        self.resilience = resilience
+        #: :class:`repro.resilience.ResilienceLedger` metering waste.
+        self.ledger = ledger
+        #: Dedicated seeded stream for retry backoff jitter.
+        self.retry_rng = retry_rng
+        #: name -> :class:`repro.resilience.CircuitBreaker` per backend.
+        self.breakers = breakers
+        #: Collect per-call client-observed delays (for p95 reporting).
+        self.collect_delays = collect_delays
+        self.delays: List[float] = []
+        self._rr = 0      # balancer round-robin cursor (resilient path)
 
     def generate(self, concurrency: float, calls: int, until: float):
         """Process generator: spawn connections at ``concurrency``/s."""
@@ -98,6 +113,15 @@ class HttperfDriver:
         while sim._now < until:
             yield expovariate(concurrency)
             faults = sim.faults
+            if self.resilience is not None:
+                client = self.client_names[index % len(self.client_names)]
+                web, index = self._pick_backend(index)
+                if web is None:
+                    self._count_failed_connection()
+                    continue
+                sim.process(self._resilient_connection(client, web, calls),
+                            name=f"conn-{index}")
+                continue
             if faults is None:
                 web = self.web_nodes[index % n]
                 client = self.client_names[index % len(self.client_names)]
@@ -168,6 +192,251 @@ class HttperfDriver:
         finally:
             web.close_connection(epoch)
 
+    # -- the resilient path ------------------------------------------------
+    #
+    # Active only with a ResilienceConfig: the balancer role grows a
+    # per-backend circuit breaker, SYN failover, capped-backoff call
+    # retries and optional hedging.  Calls retried or hedged away from
+    # the connection's backend are re-dispatched as fresh legs to the
+    # alternate node (HAProxy redispatch), not new client connections.
+
+    def _breaker(self, web: WebServerNode):
+        if self.breakers is None:
+            return None
+        return self.breakers.get(web.server.name)
+
+    def _pick_backend(self, index: int, exclude=None):
+        """Round-robin pick honouring health detection and breakers.
+
+        Returns ``(web, next_index)``; ``web`` is None when no live
+        backend exists at all.  When every live backend's breaker
+        refuses, the first live one is used anyway — a tripped breaker
+        must route *around* a limping backend, never manufacture a
+        total outage.
+        """
+        faults = self.sim.faults
+        n = len(self.web_nodes)
+        fallback = None
+        for _ in range(n):
+            candidate = self.web_nodes[index % n]
+            index += 1
+            if candidate is exclude:
+                continue
+            if (faults is not None
+                    and faults.detected_down(candidate.server.name)):
+                continue
+            if fallback is None:
+                fallback = candidate
+            breaker = self._breaker(candidate)
+            if breaker is None or breaker.allow():
+                return candidate, index
+        return fallback, index
+
+    def _resilient_connection(self, client: str, web: WebServerNode,
+                              calls: int):
+        """One httperf connection with every mitigation armed."""
+        sim = self.sim
+        start = sim._now
+        web, syn_retries = yield from self._establish(web)
+        if web is None:
+            self._count_failed_connection()
+            return
+        web_name = web.server.name
+        yield self.topology.rtt(client, web_name)
+        connect_delay = sim._now - start
+        if sim.trace is not None:
+            sim.trace.complete("connect", start, category="web",
+                               node=web_name, client=client,
+                               syn_retries=syn_retries)
+        self._count_connection()
+        epoch = web.epoch
+        try:
+            for i in range(calls):
+                call_start = sim._now
+                record = yield from self._resilient_call(client, web)
+                if record is None:
+                    self._count_timeout()
+                    return  # the client gave up on this call outright
+                call_delay = sim._now - call_start
+                reported = call_delay + (connect_delay if i == 0 else 0.0)
+                self._count_call(record.ok, call_delay, reported)
+                if record.status == 503 and not record.shed:
+                    return  # a server died mid-call; the connection too
+        finally:
+            web.close_connection(epoch)
+
+    def _establish(self, web: Optional[WebServerNode]):
+        """SYN with retries plus breaker-informed backend failover.
+
+        Each dropped SYN counts against the backend's breaker, and one
+        alternate backend is probed per round before sleeping the
+        kernel's retransmission delay — the balancer knows other accept
+        queues may have room even while the client's kernel backs off.
+        """
+        attempt = 0
+        while True:
+            if web is not None:
+                if web.try_accept():
+                    return web, attempt
+                breaker = self._breaker(web)
+                if breaker is not None:
+                    breaker.record_failure()
+            if attempt >= len(SYN_RETRY_DELAYS):
+                return None, attempt
+            alternate, self._rr = self._pick_backend(self._rr, exclude=web)
+            if alternate is not None and alternate is not web:
+                if alternate.try_accept():
+                    return alternate, attempt
+                breaker = self._breaker(alternate)
+                if breaker is not None:
+                    breaker.record_failure()
+            yield SYN_RETRY_DELAYS[attempt]
+            attempt += 1
+            self._count_syn_retry()
+
+    def _resilient_call(self, client: str, web: WebServerNode):
+        """One call with retry-on-failure; returns the final record.
+
+        Returns None when the client's timeout expired (no retry: a
+        user who waited ``client_timeout_s`` is gone).  Failed calls
+        (shed, overloaded, dead backend) retry after seeded backoff,
+        redispatched to a different backend when one exists.
+        """
+        cfg = self.resilience
+        policy = cfg.retry_policy
+        budget = policy.max_retries if cfg.retries else 0
+        backend = web
+        record = None
+        for attempt in range(budget + 1):
+            breaker = self._breaker(backend)
+            if breaker is not None and not breaker.allow():
+                # The target's breaker is open (and this call did not
+                # win the half-open probe slot): route the call to a
+                # healthy backend instead of burning an attempt on a
+                # known-limping one.  The connection stays up — only
+                # this call is redispatched.
+                alternate, self._rr = self._pick_backend(
+                    self._rr, exclude=backend)
+                if alternate is not None:
+                    backend = alternate
+            record, served_by = yield from self._race(client, backend)
+            if record is None:
+                return None
+            if record.ok or attempt >= budget:
+                return record
+            if self.ledger is not None:
+                self.ledger.count("retries")
+            yield backoff_delay(self.retry_rng, attempt,
+                                policy.backoff_base_s,
+                                policy.backoff_cap_s, policy.jitter)
+            alternate, self._rr = self._pick_backend(
+                self._rr, exclude=served_by)
+            if alternate is not None:
+                backend = alternate
+        return record
+
+    def _race(self, client: str, primary: WebServerNode):
+        """One call attempt, optionally hedged: first OK answer wins.
+
+        A duplicate leg launches on another backend once the primary
+        outlives the hedge trigger.  Losing legs are not cancelled (a
+        sent request cannot be unsent); a reaper charges their full
+        service time to the ledger as hedge waste when they finish.
+        Returns ``(record, backend)`` of the settled outcome, or
+        ``(None, None)`` on client timeout.
+        """
+        sim = self.sim
+        cfg = self.resilience
+        deadline = Timeout(sim, self.workload.client_timeout_s)
+        hedge_timer = None
+        if cfg.hedging and cfg.hedge_cfg.enabled:
+            hedge_timer = Timeout(sim, cfg.hedge_cfg.trigger_s)
+        yield from self.topology.message(
+            client, primary.server.name, self.workload.request_bytes)
+        legs = [(primary, sim.process(primary.handle_call(client)))]
+        settled = set()
+        while True:
+            failed = None
+            for backend, process in legs:
+                if not process.processed or process in settled:
+                    continue
+                settled.add(process)
+                rec = process.value
+                breaker = self._breaker(backend)
+                if rec.ok:
+                    if breaker is not None:
+                        # Latency-aware: a slow 200 counts against the
+                        # backend (gray failures answer late, not 500).
+                        breaker.record_success(rec.total_s)
+                    if backend is not primary and self.ledger is not None:
+                        self.ledger.count("hedge_wins")
+                    self._reap_losers(legs, process)
+                    deadline.cancel()
+                    if hedge_timer is not None:
+                        hedge_timer.cancel()
+                    return rec, backend
+                if breaker is not None and not rec.shed:
+                    # A shed is deliberate backpressure ("busy right
+                    # now"), not backend sickness; counting it would
+                    # cascade-trip every survivor under redirect load.
+                    breaker.record_failure()
+                failed = (rec, backend)
+            if all(process.processed for _, process in legs):
+                deadline.cancel()
+                if hedge_timer is not None:
+                    hedge_timer.cancel()
+                return failed
+            if deadline.processed:
+                # The client gives up; still-running legs grind on
+                # server-side, exactly as un-mitigated timeouts do.
+                if hedge_timer is not None:
+                    hedge_timer.cancel()
+                return None, None
+            if (hedge_timer is not None and hedge_timer.processed
+                    and len(legs) == 1):
+                alternate, self._rr = self._pick_backend(
+                    self._rr, exclude=primary)
+                if alternate is not None:
+                    if self.ledger is not None:
+                        self.ledger.count("hedges")
+                    if sim.trace is not None:
+                        sim.trace.instant("hedge.launch",
+                                          category="resilience",
+                                          node=alternate.server.name)
+                    yield from self.topology.message(
+                        client, alternate.server.name,
+                        self.workload.request_bytes)
+                    legs.append(
+                        (alternate, sim.process(alternate.handle_call(client))))
+                hedge_timer = None   # at most one hedge per call
+            events = [process for _, process in legs
+                      if not process.processed]
+            if hedge_timer is not None and not hedge_timer.processed:
+                events.append(hedge_timer)
+            events.append(deadline)
+            yield AnyOf(sim, events)
+
+    def _reap_losers(self, legs, winner) -> None:
+        for backend, process in legs:
+            if process is winner or process.processed:
+                continue
+            self.sim.process(self._reap_loser(backend, process))
+
+    def _reap_loser(self, backend: WebServerNode, process):
+        """Wait out a losing hedge leg and bill its joules as waste.
+
+        Billed at the leg's CPU-busy seconds, not its wall time: while
+        the loser queues, the vcores are serving *other* calls whose
+        energy is already accounted as useful work.
+        """
+        yield process
+        if self.ledger is None:
+            return
+        record = process.value
+        seconds = record.cpu_s if record is not None else 0.0
+        self.ledger.charge("hedge", backend.server.name, seconds,
+                           self.ledger.marginal_vcore_watts(backend.server))
+
     # -- windowed counting -------------------------------------------------
 
     def _in_window(self) -> bool:
@@ -180,6 +449,8 @@ class HttperfDriver:
             self.stats.ok_calls += 1
             self.stats.delay_sum_s += reported
             self.stats.call_delay_sum_s += call_delay
+            if self.collect_delays:
+                self.delays.append(reported)
         else:
             self.stats.error_calls += 1
 

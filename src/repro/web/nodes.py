@@ -33,6 +33,13 @@ class CallRecord:
     status: int = 200
     connect_s: float = 0.0
     syn_retries: int = 0
+    #: True when admission control fast-failed the call (resilience
+    #: only; a shed 503 is retryable, unlike a dead server's 503).
+    shed: bool = False
+    #: CPU-busy seconds of this call (tracked only under resilience, so
+    #: a losing hedge leg's *work* — not its queueing — is what the
+    #: ledger prices as waste).
+    cpu_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -140,6 +147,29 @@ class WebServerNode:
         self.errors_500 = 0
         self.records: List[CallRecord] = []
         self.record_log_enabled = True
+        # Resilience (opt-in via enable_resilience; all None/zero keeps
+        # the node bit-identical to a build without the feature).
+        self.resilience = None
+        self.resilience_ledger = None
+        self.shed_calls = 0
+        self._shed_threshold: Optional[int] = None
+
+    # -- resilience ------------------------------------------------------
+
+    def enable_resilience(self, config, ledger) -> None:
+        """Arm admission control (queue-depth load shedding).
+
+        Beyond ``queue_fraction`` of the overload limit, new calls get
+        a cheap 503 fast-fail instead of queueing toward the client's
+        timeout — the shed reply costs microseconds of CPU where a
+        queued call would hold a worker for seconds.
+        """
+        self.resilience = config
+        self.resilience_ledger = ledger
+        if config.shedding:
+            self._shed_threshold = max(1, int(
+                self.limits.call_queue_limit
+                * config.admission_cfg.queue_fraction))
 
     # -- connection admission -------------------------------------------
 
@@ -197,6 +227,14 @@ class WebServerNode:
         record = CallRecord(start=sim._now)
         trace = sim.trace
         rid = trace.next_id() if trace is not None else 0
+        if (self._shed_threshold is not None
+                and self.active_calls >= self._shed_threshold):
+            # Admission control: fast-fail while there is still queue
+            # headroom, so the balancer can retry elsewhere in
+            # milliseconds instead of discovering overload at the
+            # client-timeout horizon.
+            yield from self._shed_reply(record, client_name, rid, trace)
+            return record
         if self.active_calls >= self.limits.call_queue_limit:
             # Thread/FD exhaustion: answer 500 cheaply (Figures 4-6's
             # "server error beyond the concurrency cliff").
@@ -210,6 +248,8 @@ class WebServerNode:
         cpu_execute = self.server.cpu.execute
         message = self.topology.message
         costs = self.costs
+        track_cpu = self.resilience is not None
+        busy_time = self.server.cpu.busy_time
         if faults is not None:
             faults.bind(name, process)
         try:
@@ -219,8 +259,10 @@ class WebServerNode:
             # capacity unchanged but produces the M/G/c queueing growth
             # behind the paper's delay-vs-concurrency curves.
             work_factor = rng.expovariate(1.0)
-            yield from cpu_execute(
-                work_factor * 0.4 * costs.request_base_mi)
+            mi = work_factor * 0.4 * costs.request_base_mi
+            yield from cpu_execute(mi)
+            if track_cpu:
+                record.cpu_s += busy_time(mi)
             # Cache leg (timed as the paper's web-server logs time it).
             cache_start = sim._now
             cache = rng.choice(self.cache_nodes)
@@ -237,6 +279,8 @@ class WebServerNode:
                 if hit:
                     yield from message(cache.server.name, name, content)
             yield from cpu_execute(costs.cache_client_mi)
+            if track_cpu:
+                record.cpu_s += busy_time(costs.cache_client_mi)
             record.cache_s = sim._now - cache_start
             if trace is not None:
                 trace.complete("cache", cache_start, category="web",
@@ -258,6 +302,8 @@ class WebServerNode:
                 yield from db.handle_query(content)
                 yield from message(db.server.name, name, content)
                 yield from cpu_execute(costs.db_client_mi)
+                if track_cpu:
+                    record.cpu_s += busy_time(costs.db_client_mi)
                 record.db_s = sim._now - db_start
                 if trace is not None:
                     trace.complete("db", db_start, category="web",
@@ -265,6 +311,8 @@ class WebServerNode:
             assemble_mi = (0.6 * costs.request_base_mi
                            + costs.per_reply_kb_mi * content / 1000.0)
             yield from cpu_execute(work_factor * assemble_mi)
+            if track_cpu:
+                record.cpu_s += busy_time(work_factor * assemble_mi)
             yield from message(name, client_name, content)
             record.total_s = sim._now - record.start
             if trace is not None:
@@ -287,6 +335,29 @@ class WebServerNode:
             if faults is not None:
                 faults.unbind(name, process)
             self.active_calls -= 1
+
+    def _shed_reply(self, record: CallRecord, client_name: str,
+                    rid: int, trace):
+        """Fast-fail one call under admission control and meter the cost."""
+        self.shed_calls += 1
+        record.shed = True
+        record.status = 503
+        ledger = self.resilience_ledger
+        if ledger is not None:
+            ledger.count("sheds")
+            ledger.charge(
+                "shed", self.server.name,
+                self.server.cpu.busy_time(self.costs.error_mi),
+                ledger.marginal_vcore_watts(self.server))
+        yield from self.server.cpu.execute(self.costs.error_mi)
+        yield from self.topology.message(
+            self.server.name, client_name, P.ERROR_REPLY_BYTES)
+        record.total_s = self.sim.now - record.start
+        if trace is not None:
+            trace.complete("request", record.start, category="web",
+                           node=self.server.name, req=rid, status=503,
+                           shed=True)
+        self._log(record)
 
     def _error_reply(self, record: CallRecord, client_name: str,
                      rid: int, trace):
