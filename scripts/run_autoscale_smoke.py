@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Autoscale smoke: off-path bit-identity plus the three-arm day.
+
+Two contracts, checked in order:
+
+1. **Off-path fidelity** — with autoscaling *off* (either ``None`` or
+   ``AutoscaleConfig.disabled()``) a fixed-rate web level, a shaped
+   static day and a hybrid shaped day must match the committed digests
+   in ``experiments/autoscale_baseline.json`` float-for-float, and the
+   ``None`` and ``disabled()`` hybrid variants must match each other.
+   The autoscale package must be invisible until armed.
+
+2. **Three-arm acceptance** — the committed seeded day in
+   ``experiments/autoscale_day.json`` must show the autoscaled hybrid
+   strictly dominating at least one static arm on joules at
+   equal-or-better availability, with the elasticity bill (boot and
+   drain joules) itemised and non-zero.  The full report lands in
+   ``--out-dir`` as a JSON artifact.
+
+Run:  PYTHONPATH=src python scripts/run_autoscale_smoke.py
+      PYTHONPATH=src python scripts/run_autoscale_smoke.py --update
+"""
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import asdict
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+REPO = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+BASELINE = os.path.join(REPO, "experiments", "autoscale_baseline.json")
+DAY = os.path.join(REPO, "experiments", "autoscale_day.json")
+
+failures = []
+
+
+def check(ok: bool, what: str) -> None:
+    print(("  ok  " if ok else "  FAIL") + f"  {what}")
+    if not ok:
+        failures.append(what)
+
+
+def off_path_digests(autoscale):
+    """Fidelity digests with the autoscaler off: one fixed-rate level,
+    one shaped static day, one shaped hybrid day."""
+    from repro.autoscale import HybridWebDeployment
+    from repro.autoscale.report import DAY_SEED
+    from repro.web import (DiurnalShape, ShapedLoad,
+                           WebServiceDeployment)
+
+    shape = ShapedLoad(DiurnalShape(base_rps=60.0, peak_rps=240.0,
+                                    period_s=24.0))
+    static = WebServiceDeployment("edison", "1/4", seed=DAY_SEED)
+    level = static.run_level(24, duration=3.0, warmup=1.0)
+    shaped = WebServiceDeployment("edison", "1/4", seed=DAY_SEED)
+    shaped_level = shaped.run_shaped(shape, 24.0, calls=5)
+    hybrid = HybridWebDeployment(edison_web=2, dell_web=1, cache=1,
+                                 seed=DAY_SEED, autoscale=autoscale)
+    hybrid_level = hybrid.run_day(shape, 24.0, calls=5)
+    return {"level": asdict(level),
+            "shaped": asdict(shaped_level),
+            "hybrid": asdict(hybrid_level),
+            "hybrid_joules": hybrid.meter.energy_joules()}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed off-path baseline "
+                             "instead of checking against it")
+    parser.add_argument("--out-dir", default=REPO, metavar="DIR",
+                        help="where the report JSON artifact goes")
+    args = parser.parse_args()
+
+    from repro.autoscale import (AutoscaleConfig, DayPlan,
+                                 autoscale_experiment)
+
+    print("off-path fidelity (autoscale package must be invisible):")
+    plain = off_path_digests(None)
+    disabled = off_path_digests(AutoscaleConfig.disabled())
+    check(plain == disabled,
+          "autoscale=None and AutoscaleConfig.disabled() are "
+          "bit-identical")
+    if args.update:
+        with open(BASELINE, "w", encoding="utf-8") as handle:
+            json.dump(plain, handle, indent=1)
+            handle.write("\n")
+        print(f"  baseline rewritten -> {BASELINE}")
+    else:
+        with open(BASELINE, encoding="utf-8") as handle:
+            committed = json.load(handle)
+        check(plain == committed,
+              "off-path digests match the committed baseline")
+
+    print("three-arm acceptance (committed day, committed seed):")
+    plan = DayPlan.load(DAY)
+    report = autoscale_experiment(plan)
+    for line in report.lines():
+        print("  " + line)
+
+    hybrid = report.hybrid
+    dominated = report.dominated_arms()
+    check(bool(dominated),
+          "hybrid strictly dominates a static arm on joules at "
+          f"equal-or-better availability ({', '.join(dominated) or 'none'})")
+    check(bool(hybrid.availability_met),
+          "hybrid arm meets the availability SLO "
+          f"({(hybrid.availability or 0) * 100:.4f}%)")
+    check(hybrid.boot_j > 0,
+          f"boot energy is itemised ({hybrid.boot_j:.1f} J over "
+          f"{hybrid.counters.get('boots', 0)} boots)")
+    check(hybrid.drain_j > 0,
+          f"drain energy is itemised ({hybrid.drain_j:.1f} J over "
+          f"{hybrid.counters.get('drains', 0)} drains)")
+    check(hybrid.counters.get("evals", 0) > 0,
+          f"the controller evaluated ({hybrid.counters.get('evals', 0)} "
+          "ticks)")
+
+    path = os.path.join(args.out_dir, "autoscale_report.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_dict(), handle, indent=1)
+        handle.write("\n")
+    print(f"  artifact -> {path}")
+
+    if failures:
+        print(f"{len(failures)} check(s) failed")
+        return 1
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Autoscaling: closing the loop from telemetry to fleet capacity.
+
+The paper provisions statically — pick a platform, pick a Table 6
+rung, measure the day.  This package adds the missing control plane:
+a simulated-time controller that scrapes the telemetry TSDB on a
+fixed interval, decides a desired capacity (reactive thresholds with
+hysteresis and cooldown, or predictive lookahead over the diurnal
+history), and actuates it realistically — boot delays at idle draw,
+connection draining before suspend, LB deregistration first — against
+a heterogeneous Edison/R620 pool behind capacity-weighted routing.
+Every joule elasticity costs (boot energy, drained-but-idle watts) is
+itemised by a ledger and charged against the SLO error budget.
+
+Everything is strictly opt-in.  With autoscaling disabled (the
+default) no controller, ledger or extra process exists and every run
+is bit-identical to a build without this package — the same hard
+guarantee `repro.trace`, `repro.telemetry`, `repro.faults` and
+`repro.resilience` make.
+"""
+
+from .actuator import FleetActuator
+from .config import (DEFAULT_BOOT_S, ActuationConfig, AutoscaleConfig,
+                     PolicyConfig)
+from .controller import AutoscaleController
+from .deployment import HybridWebDeployment
+from .ledger import AutoscaleLedger, ScalingAction
+from .policy import PredictivePolicy, ReactivePolicy, make_policy
+from .pool import ACTIVE, BOOTING, DRAINING, OFF, FleetPool, PoolNode
+
+__all__ = [
+    "ACTIVE", "ActuationConfig", "AutoscaleArm", "AutoscaleConfig",
+    "AutoscaleController", "AutoscaleLedger", "AutoscaleReport",
+    "BOOTING", "DAY_SEED", "DEFAULT_BOOT_S", "DRAINING", "DayPlan",
+    "FleetActuator", "FleetPool", "HybridWebDeployment", "OFF",
+    "PolicyConfig", "PoolNode", "PredictivePolicy", "ReactivePolicy",
+    "ScalingAction", "autoscale_experiment", "make_policy",
+]
+
+_REPORT_NAMES = ("AutoscaleArm", "AutoscaleReport", "DAY_SEED", "DayPlan",
+                 "autoscale_experiment")
+
+
+def __getattr__(name):
+    # Deferred: report builds on repro.telemetry and repro.web's
+    # deployment surface — keep the heavy imports off the config path.
+    if name in _REPORT_NAMES:
+        from . import report
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,102 @@
+"""Scaling policies: pure decision functions, no simulation inside.
+
+A policy sees three numbers each evaluation — the clock, the measured
+offered rate and the fleet's committed capacity — and answers with a
+desired aggregate capacity in requests/s, or ``None`` to hold.  All
+the control-theory hygiene lives here so it can be unit-tested without
+a simulation:
+
+* **hysteresis** — act only outside the ``low..high`` utilisation
+  band; inside it, hold, so capacity quantisation (a whole Edison at a
+  time) cannot oscillate around the target;
+* **cooldown** — consecutive *scale-downs* must be ``cooldown_s``
+  apart, and any action (up or down) re-arms the gate, so the fleet
+  never sheds a node it grew seconds ago.  Scale-*up* is never gated:
+  delaying growth is how SLOs die;
+* **prediction** — the predictive policy regresses the offered rate
+  over a trailing window and extrapolates one boot-time ahead, buying
+  capacity *before* a ramp needs it instead of after utilisation
+  crosses the line.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from .config import PolicyConfig
+
+
+class ReactivePolicy:
+    """Threshold scaling around a target utilisation, with hysteresis."""
+
+    def __init__(self, cfg: PolicyConfig):
+        self.cfg = cfg
+        self.last_action_at = -math.inf
+
+    def demand_rps(self, now: float, offered_rps: float) -> float:
+        """The rate this policy provisions for (hook for prediction)."""
+        return offered_rps
+
+    def decide(self, now: float, offered_rps: float,
+               capacity_rps: float) -> Optional[float]:
+        """Desired aggregate capacity in req/s, or None to hold."""
+        cfg = self.cfg
+        demand = self.demand_rps(now, offered_rps)
+        desired = demand / cfg.target_utilization
+        if capacity_rps <= 0:
+            # No committed capacity at all: bring the fleet up now.
+            self.last_action_at = now
+            return desired
+        utilization = demand / capacity_rps
+        if utilization > cfg.high_utilization:
+            self.last_action_at = now
+            return desired
+        if utilization < cfg.low_utilization:
+            if now - self.last_action_at < cfg.cooldown_s:
+                return None
+            self.last_action_at = now
+            return desired
+        return None
+
+
+class PredictivePolicy(ReactivePolicy):
+    """Reactive rules on a lookahead-extrapolated demand signal."""
+
+    def __init__(self, cfg: PolicyConfig, default_lookahead_s: float = 0.0):
+        super().__init__(cfg)
+        self.lookahead_s = (cfg.lookahead_s if cfg.lookahead_s > 0
+                            else default_lookahead_s)
+        self.history: List[Tuple[float, float]] = []
+
+    def demand_rps(self, now: float, offered_rps: float) -> float:
+        self.history.append((now, offered_rps))
+        cutoff = now - self.cfg.history_s
+        while self.history and self.history[0][0] < cutoff:
+            self.history.pop(0)
+        predicted = offered_rps + self._slope() * self.lookahead_s
+        # Prediction only ever *adds* demand: scaling down on a
+        # forecasted decline risks shedding capacity a mis-fit trend
+        # line invented, so declines wait for the measured rate.
+        return max(offered_rps, max(0.0, predicted) * self.cfg.headroom)
+
+    def _slope(self) -> float:
+        """Least-squares slope (req/s per s) of the trailing history."""
+        n = len(self.history)
+        if n < 2:
+            return 0.0
+        mean_t = sum(t for t, _ in self.history) / n
+        mean_v = sum(v for _, v in self.history) / n
+        denom = sum((t - mean_t) ** 2 for t, _ in self.history)
+        if denom <= 0:
+            return 0.0
+        numer = sum((t - mean_t) * (v - mean_v) for t, v in self.history)
+        return numer / denom
+
+
+def make_policy(cfg: PolicyConfig,
+                default_lookahead_s: float = 0.0) -> ReactivePolicy:
+    """Build the configured policy; lookahead defaults to boot time."""
+    if cfg.kind == "predictive":
+        return PredictivePolicy(cfg, default_lookahead_s)
+    return ReactivePolicy(cfg)

@@ -1,0 +1,353 @@
+"""The three-arm headline experiment: Table 10 made dynamic.
+
+One committed seeded day — a diurnal swing with a flash crowd — is
+served three ways:
+
+* **static-dell** — the brawny fleet that covers the peak, idling
+  through the valley at an R620's 52 W floor;
+* **static-edison** — the wimpy fleet sized like a Table 6 ladder
+  rung, efficient all day but capped at its aggregate capacity;
+* **autoscaled-hybrid** — both platforms in one weighted rotation,
+  with the control plane waking and parking nodes as the day moves.
+
+Every arm reports the paper's currencies — joules, availability, p95
+— plus dollars through the Section 6 TCO model (amortised hardware +
+metered electricity), and the hybrid arm itemises what elasticity
+itself cost (boot energy, drained-but-idle energy, the action log).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..tco.model import amortized_hardware_usd, energy_cost_usd
+from ..web.loadshape import ShapedLoad
+from .config import AutoscaleConfig
+from .deployment import HybridWebDeployment
+
+#: Seed of the committed day (CI smoke + docs), same spirit as
+#: repro.resilience's GRAY_SEED.
+DAY_SEED = 77
+
+
+def _p95(delays: List[float]) -> Optional[float]:
+    if not delays:
+        return None
+    ordered = sorted(delays)
+    index = max(0, math.ceil(0.95 * len(ordered)) - 1)
+    return ordered[index]
+
+
+@dataclass(frozen=True)
+class DayPlan:
+    """One committed, seeded diurnal + flash-crowd experiment."""
+
+    name: str
+    shape: ShapedLoad
+    duration_s: float
+    seed: int = DAY_SEED
+    calls: int = 5
+    edison_scale: str = "6x3"       # static-Edison web x cache layout
+    dell_scale: str = "1x1"         # static-Dell web x cache layout
+    hybrid_edison_web: int = 6
+    hybrid_dell_web: int = 1
+    hybrid_cache: int = 3
+    autoscale: AutoscaleConfig = field(
+        default_factory=lambda: AutoscaleConfig.predictive())
+
+    def __post_init__(self):
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be > 0")
+        if self.calls < 1:
+            raise ValueError("calls must be >= 1")
+        if not self.autoscale.enabled:
+            raise ValueError("the hybrid arm needs an enabled autoscaler")
+
+    def to_dict(self) -> Dict:
+        return {"name": self.name, "shape": self.shape.to_dict(),
+                "duration_s": self.duration_s, "seed": self.seed,
+                "calls": self.calls, "edison_scale": self.edison_scale,
+                "dell_scale": self.dell_scale,
+                "hybrid_edison_web": self.hybrid_edison_web,
+                "hybrid_dell_web": self.hybrid_dell_web,
+                "hybrid_cache": self.hybrid_cache,
+                "autoscale": self.autoscale.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "DayPlan":
+        return cls(name=data["name"],
+                   shape=ShapedLoad.from_dict(data["shape"]),
+                   duration_s=data["duration_s"], seed=data["seed"],
+                   calls=data["calls"],
+                   edison_scale=data["edison_scale"],
+                   dell_scale=data["dell_scale"],
+                   hybrid_edison_web=data["hybrid_edison_web"],
+                   hybrid_dell_web=data["hybrid_dell_web"],
+                   hybrid_cache=data["hybrid_cache"],
+                   autoscale=AutoscaleConfig.from_dict(data["autoscale"]))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "DayPlan":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+@dataclass(frozen=True)
+class AutoscaleArm:
+    """One provisioning strategy's day, fully accounted."""
+
+    label: str
+    platform: str
+    #: Metered (web + cache) nodes provisioned, by platform.
+    nodes: Mapping[str, int]
+    seconds: float
+    joules: float
+    ok_calls: int
+    errors: int
+    client_failures: int
+    availability: Optional[float]
+    availability_met: Optional[bool]
+    p95_s: Optional[float]
+    mean_power_w: float
+    hardware_usd: float
+    energy_usd: float
+    #: Scaling itemisation (autoscaled arm only; zero when static).
+    boot_j: float = 0.0
+    drain_j: float = 0.0
+    counters: Mapping[str, int] = field(default_factory=dict)
+    actions: Tuple[Dict, ...] = field(default_factory=tuple)
+
+    @property
+    def work_per_joule(self) -> float:
+        if self.joules <= 0:
+            return 0.0
+        return self.ok_calls / self.joules
+
+    @property
+    def total_usd(self) -> float:
+        return self.hardware_usd + self.energy_usd
+
+    def to_dict(self) -> Dict:
+        return {"label": self.label, "platform": self.platform,
+                "nodes": dict(self.nodes), "seconds": self.seconds,
+                "joules": self.joules, "ok_calls": self.ok_calls,
+                "errors": self.errors,
+                "client_failures": self.client_failures,
+                "availability": self.availability,
+                "availability_met": self.availability_met,
+                "p95_s": self.p95_s, "mean_power_w": self.mean_power_w,
+                "hardware_usd": self.hardware_usd,
+                "energy_usd": self.energy_usd,
+                "total_usd": self.total_usd,
+                "work_per_joule": self.work_per_joule,
+                "boot_j": self.boot_j, "drain_j": self.drain_j,
+                "counters": dict(self.counters),
+                "actions": list(self.actions)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AutoscaleArm":
+        return cls(label=data["label"], platform=data["platform"],
+                   nodes=dict(data["nodes"]), seconds=data["seconds"],
+                   joules=data["joules"], ok_calls=data["ok_calls"],
+                   errors=data["errors"],
+                   client_failures=data["client_failures"],
+                   availability=data["availability"],
+                   availability_met=data["availability_met"],
+                   p95_s=data["p95_s"],
+                   mean_power_w=data["mean_power_w"],
+                   hardware_usd=data["hardware_usd"],
+                   energy_usd=data["energy_usd"],
+                   boot_j=data.get("boot_j", 0.0),
+                   drain_j=data.get("drain_j", 0.0),
+                   counters=dict(data.get("counters", {})),
+                   actions=tuple(data.get("actions", ())))
+
+
+@dataclass(frozen=True)
+class AutoscaleReport:
+    """The three arms side by side, with the dominance verdict."""
+
+    plan_name: str
+    detail: str
+    arms: Tuple[AutoscaleArm, ...]
+
+    def arm(self, label: str) -> AutoscaleArm:
+        for arm in self.arms:
+            if arm.label == label:
+                return arm
+        raise KeyError(f"no arm labelled {label!r}")
+
+    @property
+    def hybrid(self) -> AutoscaleArm:
+        return self.arm("autoscaled-hybrid")
+
+    def dominated_arms(self) -> List[str]:
+        """Static arms the hybrid strictly beats on joules at
+        equal-or-better availability."""
+        hybrid = self.hybrid
+        out = []
+        for arm in self.arms:
+            if arm.label == hybrid.label:
+                continue
+            if hybrid.joules >= arm.joules:
+                continue
+            if (hybrid.availability is None
+                    or arm.availability is None):
+                continue
+            if hybrid.availability >= arm.availability:
+                out.append(arm.label)
+        return out
+
+    def to_dict(self) -> Dict:
+        return {"plan_name": self.plan_name, "detail": self.detail,
+                "arms": [arm.to_dict() for arm in self.arms],
+                "dominated_arms": self.dominated_arms()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AutoscaleReport":
+        return cls(plan_name=data["plan_name"], detail=data["detail"],
+                   arms=tuple(AutoscaleArm.from_dict(a)
+                              for a in data["arms"]))
+
+    def lines(self) -> List[str]:
+        """The three-arm table, CLI/docs-ready."""
+        out = [f"Autoscaling day — {self.plan_name} ({self.detail})"]
+        labels = [arm.label for arm in self.arms]
+        out.append("  " + f"{'':22s}"
+                   + "".join(f"{label:>20s}" for label in labels))
+
+        def row(name: str, fmt) -> None:
+            out.append("  " + f"{name:22s}"
+                       + "".join(f"{fmt(arm):>20s}" for arm in self.arms))
+
+        def nodes(arm: AutoscaleArm) -> str:
+            return "+".join(f"{count} {platform}"
+                            for platform, count in sorted(arm.nodes.items()))
+
+        row("fleet (web+cache)", nodes)
+        row("energy", lambda a: f"{a.joules:.0f} J")
+        row("mean power", lambda a: f"{a.mean_power_w:.1f} W")
+        row("ok calls", lambda a: f"{a.ok_calls}")
+        row("errors+failures",
+            lambda a: f"{a.errors + a.client_failures}")
+        row("availability",
+            lambda a: ("n/a" if a.availability is None else
+                       f"{a.availability:.4%}"
+                       + (" met" if a.availability_met else " MISS")))
+        row("p95 delay",
+            lambda a: ("n/a" if a.p95_s is None
+                       else f"{a.p95_s * 1000:.0f} ms"))
+        row("calls per kJ", lambda a: f"{a.work_per_joule * 1000:.0f}")
+        row("hardware $ (amort.)", lambda a: f"${a.hardware_usd:.4f}")
+        row("electricity $", lambda a: f"${a.energy_usd:.4f}")
+        row("total $", lambda a: f"${a.total_usd:.4f}")
+        hybrid = self.hybrid
+        out.append(f"  scaling overhead: boot {hybrid.boot_j:.1f} J, "
+                   f"drain {hybrid.drain_j:.1f} J "
+                   f"({hybrid.counters.get('boots', 0)} boots, "
+                   f"{hybrid.counters.get('drains', 0)} drains, "
+                   f"{hybrid.counters.get('drain_timeouts', 0)} drain "
+                   f"timeouts)")
+        dominated = self.dominated_arms()
+        if dominated:
+            out.append("  verdict: hybrid dominates "
+                       + ", ".join(dominated)
+                       + " (fewer joules, >= availability)")
+        else:
+            out.append("  verdict: hybrid dominates no static arm")
+        return out
+
+
+# -- running the experiment ----------------------------------------------
+
+
+def _fleet_counts(cluster) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for server in cluster.metered_servers:
+        counts[server.platform] = counts.get(server.platform, 0) + 1
+    return counts
+
+
+def _fleet_cost_usd(cluster) -> float:
+    return sum(s.spec.node_cost_usd for s in cluster.metered_servers)
+
+
+def _build_arm(label: str, deployment, telemetry, level,
+               duration: float, ledger=None) -> AutoscaleArm:
+    slo = telemetry.slo_report()
+    joules = deployment.meter.energy_joules()
+    delays = (deployment.last_driver.delays
+              if deployment.last_driver is not None else [])
+    return AutoscaleArm(
+        label=label, platform=deployment.platform,
+        nodes=_fleet_counts(deployment.cluster),
+        seconds=duration, joules=joules,
+        ok_calls=level.ok_calls,
+        errors=level.error_calls + level.timeout_calls
+        + level.failed_connections,
+        client_failures=slo.client_failures,
+        availability=slo.availability,
+        availability_met=slo.availability_met,
+        p95_s=_p95(delays),
+        mean_power_w=level.mean_power_w,
+        hardware_usd=amortized_hardware_usd(
+            _fleet_cost_usd(deployment.cluster), duration),
+        energy_usd=energy_cost_usd(joules),
+        boot_j=ledger.boot_joules if ledger is not None else 0.0,
+        drain_j=ledger.drain_joules if ledger is not None else 0.0,
+        counters=dict(ledger.counters) if ledger is not None else {},
+        actions=tuple(a.to_dict() for a in ledger.actions)
+        if ledger is not None else ())
+
+
+def autoscale_experiment(plan: DayPlan, trace=None) -> AutoscaleReport:
+    """Run the committed day three ways and report all arms."""
+    from ..telemetry import Telemetry    # deferred: import cycle
+    from ..web import WebServiceDeployment
+
+    def static_arm(label: str, platform: str, scale: str) -> AutoscaleArm:
+        deployment = WebServiceDeployment(platform, scale, seed=plan.seed,
+                                          trace=trace)
+        telemetry = Telemetry()
+        telemetry.attach_web(deployment, until=plan.duration_s)
+        level = deployment.run_shaped(plan.shape, plan.duration_s,
+                                      calls=plan.calls,
+                                      collect_delays=True)
+        return _build_arm(label, deployment, telemetry, level,
+                          plan.duration_s)
+
+    def hybrid_arm() -> AutoscaleArm:
+        deployment = HybridWebDeployment(
+            edison_web=plan.hybrid_edison_web,
+            dell_web=plan.hybrid_dell_web,
+            cache=plan.hybrid_cache, seed=plan.seed,
+            autoscale=plan.autoscale, trace=trace)
+        telemetry = Telemetry()
+        telemetry.attach_web(deployment, until=plan.duration_s)
+        level = deployment.run_day(plan.shape, plan.duration_s,
+                                   calls=plan.calls, collect_delays=True)
+        return _build_arm("autoscaled-hybrid", deployment, telemetry,
+                          level, plan.duration_s,
+                          ledger=deployment.ledger)
+
+    arms = (
+        static_arm("static-edison", "edison", plan.edison_scale),
+        static_arm("static-dell", "dell", plan.dell_scale),
+        hybrid_arm(),
+    )
+    peak = plan.shape.peak_bound()
+    return AutoscaleReport(
+        plan_name=plan.name,
+        detail=f"{plan.duration_s:.0f} s day, "
+               f"{plan.shape.diurnal.base_rps:.0f}-"
+               f"{plan.shape.diurnal.peak_rps:.0f} rps diurnal, "
+               f"{peak:.0f} rps flash peak, seed {plan.seed}",
+        arms=arms)

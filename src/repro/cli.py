@@ -307,6 +307,30 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _cmd_autoscale(args) -> int:
+    """The three-arm provisioning day: static fleets vs the autoscaler."""
+    import json
+    from .autoscale import DayPlan, autoscale_experiment
+    if args.json:
+        _check_parent_dir("--json", args.json)
+    plan = DayPlan.load(args.plan)
+    tracer = None
+    if args.trace:
+        _check_parent_dir("--trace", args.trace)
+        tracer = Tracer()
+    report = autoscale_experiment(plan, trace=tracer)
+    for line in report.lines():
+        print(line)
+    if tracer is not None:
+        write_chrome_trace(tracer.log, args.trace)
+        print(f"trace: {len(tracer.log)} events -> {args.trace}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=1)
+        print(f"report -> {args.json}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .telemetry import (load_bundle, summary_lines, write_dashboard,
                             write_prometheus)
@@ -563,6 +587,24 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument("--json", metavar="PATH",
                      help="also write the report as JSON to PATH")
     res.set_defaults(func=_cmd_resilience)
+
+    autoscale = sub.add_parser(
+        "autoscale",
+        help="three-arm provisioning day: static-Edison and static-Dell "
+             "fleets vs the autoscaled hybrid, with joules, SLOs and "
+             "dollars per arm")
+    autoscale.add_argument(
+        "--plan", default=os.path.join(os.path.dirname(__file__), "..", "..",
+                                       "experiments", "autoscale_day.json"),
+        metavar="FILE",
+        help="DayPlan JSON (default: the committed experiments/"
+             "autoscale_day.json)")
+    autoscale.add_argument("--json", metavar="PATH",
+                           help="also write the report as JSON to PATH")
+    autoscale.add_argument("--trace", metavar="PATH",
+                           help="write a Chrome/Perfetto trace of all "
+                                "three arms to PATH")
+    autoscale.set_defaults(func=_cmd_autoscale)
 
     sub.add_parser("table2", help="capacity estimate") \
         .set_defaults(func=_cmd_table2)

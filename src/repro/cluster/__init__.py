@@ -1,7 +1,8 @@
 """Cluster composition: server groups, topologies and testbed layouts."""
 
-from .builders import dell_cluster, edison_cluster, hadoop_cluster, web_cluster
+from .builders import (dell_cluster, edison_cluster, hadoop_cluster,
+                       hybrid_web_cluster, web_cluster)
 from .cluster import Cluster
 
 __all__ = ["Cluster", "dell_cluster", "edison_cluster", "hadoop_cluster",
-           "web_cluster"]
+           "hybrid_web_cluster", "web_cluster"]

@@ -67,6 +67,37 @@ def parse_custom_scale(scale: str):
     return web_count, cache_count
 
 
+def hybrid_web_cluster(sim: Simulation, edison_web: int, dell_web: int,
+                       cache: int,
+                       edison_spec: ServerSpec = EDISON) -> Cluster:
+    """A mixed Edison/R620 web tier sharing one rotation.
+
+    The autoscaling testbed: ``edison_web`` wimpy and ``dell_web``
+    brawny web servers behind one capacity-weighted balancer, an
+    Edison memcached tier sized like the Table 6 ladders, and the same
+    shared unmetered Dell MySQL/client infrastructure as
+    :func:`web_cluster`.  Edisons are named ``web-0..`` and the Dells
+    continue the suffix range, so every role-by-prefix consumer (the
+    telemetry scrapers, the deployment wiring) works unchanged;
+    per-node platform comes from ``server.platform``.
+    """
+    if edison_web < 0 or dell_web < 0 or edison_web + dell_web < 1:
+        raise ValueError("need at least one web server across platforms")
+    if cache < 1:
+        raise ValueError("need at least one cache server")
+    cluster = Cluster(sim, name=f"web-hybrid-{edison_web}e{dell_web}d")
+    for i in range(edison_web):
+        cluster.add(edison_spec, f"web-{i}")
+    for i in range(dell_web):
+        cluster.add(DELL_R620, f"web-{edison_web + i}")
+    cluster.add_many(edison_spec, cache, prefix="cache")
+    for i in range(2):
+        cluster.add(DELL_R620, f"db-{i}", metered=False)
+    for i in range(8):
+        cluster.add(DELL_R620, f"client-{i}", metered=False)
+    return cluster
+
+
 def web_cluster(sim: Simulation, platform: str, scale: str = "full",
                 edison_spec: ServerSpec = EDISON) -> Cluster:
     """The Section 5.1 web-service layouts (Table 6).

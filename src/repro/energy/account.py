@@ -61,6 +61,30 @@ class MitigationCosts:
         return self.speculative_j + self.hedge_j + self.shed_j + self.retry_j
 
 
+@dataclass(frozen=True)
+class ScalingCosts:
+    """Joules an autoscaler spent *moving* capacity, not serving with it.
+
+    Filled in by :class:`repro.autoscale.AutoscaleLedger`.  ``boot_j``
+    is the idle-draw energy of nodes between power-on and serving;
+    ``drain_j`` is the drained-but-idle energy of nodes finishing
+    in-flight connections after deregistration, before power-off.
+    Both land in the meter's total — this breakdown is what makes the
+    price of elasticity visible instead of smeared into it.
+    """
+
+    boot_j: float = 0.0
+    drain_j: float = 0.0
+
+    def __post_init__(self):
+        if self.boot_j < 0 or self.drain_j < 0:
+            raise ValueError("boot_j and drain_j must be >= 0")
+
+    @property
+    def total_j(self) -> float:
+        return self.boot_j + self.drain_j
+
+
 def work_done_per_joule(work_units: float, joules: float) -> float:
     """Work-done-per-joule for ``work_units`` of work costing ``joules``."""
     if joules <= 0:

@@ -45,10 +45,19 @@ class FaultRecord:
 
 
 class _NodeStatus:
-    """Mutable per-node fault state (tokens allow overlapping faults)."""
+    """Mutable per-node fault state (tokens allow overlapping faults).
+
+    Administrative power state (``admin_off``/``admin_booting``) is kept
+    apart from the fault tokens: an autoscaler parking a node is not an
+    outage, so it never creates a :class:`FaultRecord` and never counts
+    toward downtime — but the node is just as unreachable, so ``up``
+    folds both in and every consumer (LB health checks, scrapers, the
+    power meter) sees one coherent answer.
+    """
 
     __slots__ = ("down_tokens", "unpowered_tokens", "down_since",
-                 "last_down_at", "downtime_s", "disk_failed")
+                 "last_down_at", "downtime_s", "disk_failed",
+                 "admin_off", "admin_booting")
 
     def __init__(self):
         self.down_tokens = 0
@@ -57,10 +66,13 @@ class _NodeStatus:
         self.last_down_at = -math.inf
         self.downtime_s = 0.0
         self.disk_failed = False
+        self.admin_off = False
+        self.admin_booting = False
 
     @property
     def up(self) -> bool:
-        return self.down_tokens == 0
+        return (self.down_tokens == 0 and not self.admin_off
+                and not self.admin_booting)
 
 
 class FaultInjector:
@@ -114,10 +126,17 @@ class FaultInjector:
         return status is None or status.up
 
     def detected_down(self, node: str) -> bool:
-        """True once a crash has been down longer than ``detection_s``."""
+        """True once a crash has been down longer than ``detection_s``.
+
+        Administrative power states are detected instantly: the control
+        plane *deregistered* the node, it did not have to notice a
+        silent death through missed health checks.
+        """
         status = self.status.get(node)
         if status is None or status.up:
             return False
+        if status.admin_off or status.admin_booting:
+            return True
         return self.sim.now >= status.down_since + self.detection_s
 
     def went_down_since(self, node: str, t: float) -> bool:
@@ -144,9 +163,69 @@ class FaultInjector:
         status = self.status.get(server.name)
         if status is None or status.up:
             return server.spec.power.power(utilization)
-        if status.unpowered_tokens > 0:
+        if status.unpowered_tokens > 0 or status.admin_off:
             return 0.0
+        # Crashed-but-powered, or administratively booting: idle draw.
         return server.spec.power.min_w
+
+    # -- administrative power control (the autoscaler's lever) -----------
+    #
+    # Deliberate suspend/resume shares the fault plane's machinery —
+    # bound processes are interrupted with a FaultCause, listeners fire
+    # with kind "admin", every status query gives the same answer a
+    # crash would — but it is *not* a fault: no FaultRecord is written
+    # (alert-detection ground truth stays clean) and no downtime
+    # accrues (parking a node off-peak is not an outage).  All three
+    # transitions are pure flag flips, callable from any process.
+
+    def admin_state(self, node: str) -> str:
+        """One of ``"on"``, ``"off"`` or ``"booting"``."""
+        status = self.status[node]
+        if status.admin_off:
+            return "off"
+        if status.admin_booting:
+            return "booting"
+        return "on"
+
+    def admin_power_off(self, node: str) -> None:
+        """Suspend ``node``: 0 W draw, out of service, work interrupted."""
+        status = self.status[node]
+        if status.admin_off:
+            return
+        was_up = status.up
+        status.admin_off = True
+        status.admin_booting = False
+        if self.sim.trace is not None:
+            self.sim.trace.instant("admin.power_off", category="autoscale",
+                                   node=node)
+        if was_up:
+            for listener in list(self._listeners):
+                listener("down", node, "admin")
+            for process in list(self._bound[node]):
+                if process.is_alive:
+                    process.interrupt(FaultCause("admin", node))
+
+    def admin_begin_boot(self, node: str) -> None:
+        """Start booting a suspended node: idle draw, not yet serving."""
+        status = self.status[node]
+        if not status.admin_off:
+            raise RuntimeError(f"{node} is not administratively off")
+        status.admin_off = False
+        status.admin_booting = True
+
+    def admin_power_on(self, node: str) -> None:
+        """Finish booting (or instantly resume) a suspended node."""
+        status = self.status[node]
+        if not (status.admin_off or status.admin_booting):
+            return
+        status.admin_off = False
+        status.admin_booting = False
+        if self.sim.trace is not None:
+            self.sim.trace.instant("admin.power_on", category="autoscale",
+                                   node=node)
+        if status.up:
+            for listener in list(self._listeners):
+                listener("up", node, "admin")
 
     # -- bindings and listeners ------------------------------------------
 

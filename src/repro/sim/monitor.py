@@ -149,11 +149,15 @@ class TimeSeries:
         lo = self.times[0] if start is None else max(start, self.times[0])
         hi = self.times[-1] if end is None else end
         out = TimeSeries(self.name)
+        first = self.times[0]
         # Integer grid indices avoid floating-point drift across steps.
         for k in range(math.ceil(lo / step - 1e-9),
                        math.floor(hi / step + 1e-9) + 1):
             t = k * step
-            out.record(t, self.at(t))
+            # The epsilon that admits a grid point sitting on the first
+            # sample can leave t a few ulps *before* it; hold the value
+            # rather than raising over float dust.
+            out.record(t, self.at(t if t >= first else first))
         return out
 
 

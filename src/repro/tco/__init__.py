@@ -1,9 +1,11 @@
 """Section 6 total-cost-of-ownership model."""
 
 from .model import (
-    DELL_TCO, EDISON_TCO, HOURS_PER_YEAR, TcoInputs, cluster_tco,
+    DELL_TCO, EDISON_TCO, HOURS_PER_YEAR, TcoInputs,
+    amortized_hardware_usd, cluster_tco, energy_cost_usd,
     node_energy_cost, savings_fraction, table10,
 )
 
 __all__ = ["DELL_TCO", "EDISON_TCO", "HOURS_PER_YEAR", "TcoInputs",
-           "cluster_tco", "node_energy_cost", "savings_fraction", "table10"]
+           "amortized_hardware_usd", "cluster_tco", "energy_cost_usd",
+           "node_energy_cost", "savings_fraction", "table10"]

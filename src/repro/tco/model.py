@@ -55,6 +55,37 @@ def cluster_tco(inputs: TcoInputs, nodes: int, utilization: float) -> float:
                     + node_energy_cost(inputs, utilization))
 
 
+def energy_cost_usd(joules: float,
+                    usd_per_kwh: float = paper.T9_ELECTRICITY_PER_KWH
+                    ) -> float:
+    """Electricity cost of ``joules`` of measured energy.
+
+    Equation 1 prices energy from assumed utilisation; a metered run
+    has the joules themselves, so the autoscale report charges those
+    directly at the Table 9 tariff.
+    """
+    if joules < 0:
+        raise ValueError("joules must be >= 0")
+    return joules / 3.6e6 * usd_per_kwh
+
+
+def amortized_hardware_usd(total_node_cost_usd: float, seconds: float,
+                           lifetime_years: float = paper.T9_LIFETIME_YEARS
+                           ) -> float:
+    """The slice of Cs a run of ``seconds`` consumes.
+
+    Straight-line amortisation of the fleet's purchase price over the
+    Table 9 lifetime — the dollars a provisioning choice costs even
+    while its nodes are powered off.
+    """
+    if total_node_cost_usd < 0 or seconds < 0:
+        raise ValueError("cost and seconds must be >= 0")
+    if lifetime_years <= 0:
+        raise ValueError("lifetime_years must be > 0")
+    lifetime_s = lifetime_years * HOURS_PER_YEAR * 3600.0
+    return total_node_cost_usd * seconds / lifetime_s
+
+
 EDISON_TCO = TcoInputs(
     node_cost_usd=paper.T9_EDISON_NODE_COST,
     peak_power_w=paper.T3_EDISON_BUSY_W,

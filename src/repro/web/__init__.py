@@ -5,9 +5,11 @@ from .deployment import (
     DelayDecomposition, WebServiceDeployment, measure_delay_decomposition,
 )
 from .httperf import HttperfDriver, LevelResult, LevelStats
+from .loadshape import DiurnalShape, FlashCrowd, ShapedLoad
 from .nodes import (
     CacheNode, CallRecord, DatabaseNode, PortPool, WebServerNode,
 )
+from .rotation import WeightedRotation
 from .params import (
     COSTS, LIMITS, PER_SERVER_CAPACITY_RPS, ConnectionLimits, ServiceCosts,
     WebWorkload, mean_reply_bytes, tuned_calls_per_connection,
@@ -17,10 +19,11 @@ from .runner import SweepResult, energy_efficiency_ratio, sweep_concurrency
 
 __all__ = [
     "COSTS", "CacheNode", "CallRecord", "ConnectionLimits",
-    "DatabaseNode", "DelayDecomposition", "HttperfDriver", "LIMITS",
-    "LevelResult", "LevelStats", "PER_SERVER_CAPACITY_RPS", "PortPool",
-    "ProbeLog", "ServiceCosts", "SweepResult", "UrllibProbe",
-    "WebServerNode", "WebServiceDeployment", "WebWorkload",
+    "DatabaseNode", "DelayDecomposition", "DiurnalShape", "FlashCrowd",
+    "HttperfDriver", "LIMITS", "LevelResult", "LevelStats",
+    "PER_SERVER_CAPACITY_RPS", "PortPool", "ProbeLog", "ServiceCosts",
+    "ShapedLoad", "SweepResult", "UrllibProbe", "WebServerNode",
+    "WebServiceDeployment", "WebWorkload", "WeightedRotation",
     "delay_distribution", "energy_efficiency_ratio", "mean_reply_bytes",
     "measure_delay_decomposition", "sweep_concurrency",
     "tuned_calls_per_connection", "workload_factor",

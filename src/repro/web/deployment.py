@@ -119,7 +119,10 @@ class WebServiceDeployment:
         return injector
 
     def _on_fault_event(self, event: str, node: str, kind: str) -> None:
-        if event != "up" or kind not in ("crash", "power"):
+        # "admin" is the autoscaler's deliberate suspend/resume: a node
+        # coming back from it reboots with a clean connection table
+        # exactly like one repaired after a crash or power fault.
+        if event != "up" or kind not in ("crash", "power", "admin"):
             return
         for web in self.web_nodes:
             if web.server.name == node:
@@ -203,6 +206,23 @@ class WebServiceDeployment:
             mean_power_w=mean_power,
         )
 
+    # -- running a shaped (time-varying) day -------------------------------
+
+    def run_shaped(self, shape, duration: float, warmup: float = 0.0,
+                   calls: int = 5, rotation=None,
+                   collect_delays: bool = False) -> LevelResult:
+        """Drive a :class:`~repro.web.loadshape.ShapedLoad` day.
+
+        The static arms of the autoscaling experiment run through
+        here: same deployment, same backends, but arrivals follow the
+        diurnal + flash-crowd rate function instead of one fixed
+        concurrency.  The reported ``concurrency`` is 0 (there is no
+        single level).
+        """
+        return run_shaped(self, shape, duration, warmup=warmup,
+                          calls=calls, rotation=rotation,
+                          collect_delays=collect_delays)
+
     # -- web-server-side logs (Table 7) --------------------------------------
 
     def call_records(self, after: float = 0.0):
@@ -211,6 +231,62 @@ class WebServiceDeployment:
         for node in self.web_nodes:
             records.extend(r for r in node.records if r.start >= after)
         return records
+
+
+def run_shaped(deployment, shape, duration: float, warmup: float = 0.0,
+               calls: int = 5, rotation=None,
+               collect_delays: bool = False) -> LevelResult:
+    """Run one shaped day against any web-style deployment.
+
+    Duck-typed over the deployment surface (``sim``, ``cluster``,
+    ``web_nodes``, ``client_names``, ``workload``, ``rng``, ``meter``,
+    ``telemetry``) so :class:`WebServiceDeployment` and the autoscale
+    package's hybrid deployment share one code path.  The resilient
+    driver options deliberately stay off here: shaped days measure
+    provisioning, not gray-failure mitigation.
+    """
+    if duration <= warmup:
+        raise ValueError("duration must exceed warmup")
+    sim = deployment.sim
+    if sim.faults is not None:
+        sim.faults.add_listener(deployment._on_fault_event)
+    driver = HttperfDriver(
+        sim, deployment.cluster.topology, deployment.web_nodes,
+        deployment.client_names, deployment.workload,
+        deployment.rng.stream("arrivals"), collect_after=warmup,
+        collect_delays=collect_delays)
+    deployment.last_driver = driver
+    sim.process(driver.generate_shaped(shape, calls, until=duration,
+                                       rotation=rotation))
+    deployment.meter.start(until=duration)
+    sim.run(until=duration)
+    stats = driver.stats
+    if deployment.telemetry is not None:
+        # Abandoned calls *and* connections that never established
+        # (SYN retries exhausted) are user-visible outages no server
+        # log sees; both charge the availability SLO.
+        deployment.telemetry.note_client_outcomes(
+            timeouts=stats.timeout_calls,
+            give_ups=stats.failed_connections)
+    counted = max(1, stats.ok_calls)
+    power_samples = [v for t, v in deployment.meter.series.pairs()
+                     if t >= warmup]
+    mean_power = (sum(power_samples) / len(power_samples)
+                  if power_samples else deployment.cluster.idle_watts())
+    return LevelResult(
+        platform=deployment.platform,
+        concurrency=0,
+        calls_per_connection=calls,
+        window_s=duration - warmup,
+        ok_calls=stats.ok_calls,
+        error_calls=stats.error_calls,
+        timeout_calls=stats.timeout_calls,
+        failed_connections=stats.failed_connections,
+        connections=stats.connections,
+        syn_retries=stats.syn_retries,
+        mean_delay_s=stats.delay_sum_s / counted,
+        mean_power_w=mean_power,
+    )
 
 
 @dataclass(frozen=True)

@@ -145,6 +145,65 @@ class HttperfDriver:
             sim.process(self._connection(client, web, calls),
                         name=f"conn-{index}")
 
+    def generate_shaped(self, shape, calls: int, until: float,
+                        rotation=None):
+        """Process generator: open-loop arrivals following ``shape``.
+
+        Non-homogeneous Poisson arrivals by Lewis-Shedler thinning:
+        candidate connections arrive at the shape's constant peak
+        bound and each survives with probability ``rate(t)/bound`` —
+        an exact simulation of the time-varying process, and a seeded
+        one (two runs of the same shape and seed see identical
+        arrivals).  Backends come from ``rotation`` (a
+        :class:`~repro.web.rotation.WeightedRotation`, for
+        heterogeneous/autoscaled pools) or, when None, the same
+        health-checked round-robin as :meth:`generate`.
+
+        This is a separate method rather than a mode of
+        :meth:`generate` on purpose: the fixed-rate path's event and
+        RNG sequence is pinned float-for-float by committed baselines.
+        """
+        if calls < 1:
+            raise ValueError("calls must be >= 1")
+        peak_rps = shape.peak_bound()
+        if peak_rps <= 0:
+            raise ValueError("the shape's peak bound must be > 0")
+        bound_cps = peak_rps / calls      # connection-arrival envelope
+        index = 0
+        n = len(self.web_nodes)
+        sim = self.sim
+        rng = self.rng
+        while sim._now < until:
+            yield rng.expovariate(bound_cps)
+            if rng.random() * peak_rps >= shape.rate(sim._now):
+                continue                  # thinned: candidate rejected
+            faults = sim.faults
+            if rotation is not None:
+                client = self.client_names[index % len(self.client_names)]
+                index += 1
+                web = rotation.pick()
+                if web is None:
+                    self._count_failed_connection()
+                    continue
+            elif faults is None:
+                web = self.web_nodes[index % n]
+                client = self.client_names[index % len(self.client_names)]
+                index += 1
+            else:
+                web = None
+                for _ in range(n):
+                    candidate = self.web_nodes[index % n]
+                    client = self.client_names[index % len(self.client_names)]
+                    index += 1
+                    if not faults.detected_down(candidate.server.name):
+                        web = candidate
+                        break
+                if web is None:
+                    self._count_failed_connection()
+                    continue
+            sim.process(self._connection(client, web, calls),
+                        name=f"conn-{index}")
+
     def _connection(self, client: str, web: WebServerNode, calls: int):
         """One httperf connection: SYN (with retries), then ``calls`` calls."""
         sim = self.sim

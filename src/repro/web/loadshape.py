@@ -1,0 +1,144 @@
+"""Time-varying open-loop arrival shapes: diurnal days, flash crowds.
+
+The paper drives each measurement at a *fixed* offered rate; an
+autoscaling experiment needs the thing real control planes face — a
+day.  A :class:`ShapedLoad` is a deterministic rate function r(t) in
+requests/s built from a raised-cosine diurnal swing plus any number of
+flash crowds (multiplicative bursts with a ramp, a hold and a decay).
+The httperf driver turns it into Poisson arrivals by Lewis-Shedler
+thinning against the shape's peak bound, so arrivals stay seeded and
+reproducible: same shape + same seed = the same connection sequence,
+which is what lets the headline experiment commit one canonical day.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class DiurnalShape:
+    """A raised-cosine day: trough at ``trough_at_s``, peak half a
+    period later.
+
+    ``rate(t) = base + (peak - base) * (1 - cos(2*pi*(t - trough)/period)) / 2``
+    """
+
+    base_rps: float
+    peak_rps: float
+    period_s: float
+    trough_at_s: float = 0.0
+
+    def __post_init__(self):
+        if self.base_rps < 0 or self.peak_rps < self.base_rps:
+            raise ValueError("need 0 <= base_rps <= peak_rps")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be > 0")
+
+    def rate(self, t: float) -> float:
+        phase = 2.0 * math.pi * (t - self.trough_at_s) / self.period_s
+        return (self.base_rps
+                + (self.peak_rps - self.base_rps) * 0.5 * (1.0 - math.cos(phase)))
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A multiplicative burst: ramp up, hold, decay back to 1x.
+
+    The factor is 1.0 outside the event, climbs linearly to
+    ``multiplier`` over ``ramp_s``, holds for ``hold_s``, then decays
+    linearly over ``decay_s``.  A linear ramp (not a step) is what a
+    real flash crowd looks like — and what gives a lookahead policy a
+    visible slope to extrapolate before capacity is actually short.
+    """
+
+    at_s: float
+    ramp_s: float
+    hold_s: float
+    decay_s: float
+    multiplier: float
+
+    def __post_init__(self):
+        if self.at_s < 0:
+            raise ValueError("at_s must be >= 0")
+        if self.ramp_s <= 0 or self.decay_s <= 0 or self.hold_s < 0:
+            raise ValueError("ramp_s/decay_s must be > 0, hold_s >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def factor(self, t: float) -> float:
+        dt = t - self.at_s
+        if dt <= 0:
+            return 1.0
+        if dt < self.ramp_s:
+            return 1.0 + (self.multiplier - 1.0) * dt / self.ramp_s
+        dt -= self.ramp_s
+        if dt < self.hold_s:
+            return self.multiplier
+        dt -= self.hold_s
+        if dt < self.decay_s:
+            return self.multiplier - (self.multiplier - 1.0) * dt / self.decay_s
+        return 1.0
+
+
+@dataclass(frozen=True)
+class ShapedLoad:
+    """A diurnal base modulated by zero or more flash crowds."""
+
+    diurnal: DiurnalShape
+    flashes: Tuple[FlashCrowd, ...] = field(default_factory=tuple)
+
+    def rate(self, t: float) -> float:
+        """Offered request rate (req/s) at simulated time ``t``."""
+        rate = self.diurnal.rate(t)
+        for flash in self.flashes:
+            rate *= flash.factor(t)
+        return rate
+
+    def peak_bound(self) -> float:
+        """A rate every instant stays at or below (thinning envelope).
+
+        Conservative: the diurnal peak times the product of every
+        flash multiplier.  Flash crowds rarely coincide, so the bound
+        over-rejects a little; correctness only needs r(t) <= bound.
+        """
+        bound = self.diurnal.peak_rps
+        for flash in self.flashes:
+            bound *= flash.multiplier
+        return bound
+
+    # -- (de)serialisation, for the committed experiment plan ------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "diurnal": {
+                "base_rps": self.diurnal.base_rps,
+                "peak_rps": self.diurnal.peak_rps,
+                "period_s": self.diurnal.period_s,
+                "trough_at_s": self.diurnal.trough_at_s,
+            },
+            "flashes": [
+                {"at_s": f.at_s, "ramp_s": f.ramp_s, "hold_s": f.hold_s,
+                 "decay_s": f.decay_s, "multiplier": f.multiplier}
+                for f in self.flashes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ShapedLoad":
+        diurnal = DiurnalShape(**data["diurnal"])
+        flashes = tuple(FlashCrowd(**f) for f in data.get("flashes", ()))
+        return cls(diurnal=diurnal, flashes=flashes)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ShapedLoad":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

@@ -54,3 +54,29 @@ def test_histogram_command(capsys):
 def test_seed_flag_changes_nothing_structural(capsys):
     assert main(["--seed", "7", "table2"]) == 0
     assert "Table 2" in capsys.readouterr().out
+
+
+def test_autoscale_command_runs_a_tiny_day(tmp_path, capsys):
+    import json
+
+    from repro.autoscale import DayPlan
+    from repro.web import DiurnalShape, ShapedLoad
+
+    plan = DayPlan(
+        name="tiny", duration_s=8.0, calls=4,
+        shape=ShapedLoad(DiurnalShape(base_rps=40.0, peak_rps=200.0,
+                                      period_s=8.0)),
+        edison_scale="2x1", dell_scale="1x1",
+        hybrid_edison_web=2, hybrid_dell_web=1, hybrid_cache=1)
+    plan_path = tmp_path / "day.json"
+    plan.save(str(plan_path))
+    json_path = tmp_path / "report.json"
+
+    assert main(["autoscale", "--plan", str(plan_path),
+                 "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "autoscaled-hybrid" in out
+    assert "scaling overhead" in out
+    report = json.loads(json_path.read_text())
+    assert [arm["label"] for arm in report["arms"]] == [
+        "static-edison", "static-dell", "autoscaled-hybrid"]
