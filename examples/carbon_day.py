@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""One grid day, four scheduling policies, two clusters, one verdict.
+
+The paper metered its clusters at the PDU, where a joule is a joule
+whenever it flows.  The grid disagrees: under a duck-curve day the
+same kilowatt-hour costs ~3x the CO2 at the evening ramp that it does
+in the midday solar dip.  This script takes the repo's committed
+seeded day — five deferrable MapReduce jobs (mini TeraSorts and
+WikiDB scans) released into a carbon-heavy morning, each with a
+generous deadline — and serves it four ways on both clusters:
+
+* **no-wait** — run at release, the paper's behaviour (and the
+  bit-identity baseline: these runs are float-for-float the plain
+  ``run_job`` runs);
+* **edd** — earliest-deadline-first ordering, still starting at
+  release: the control showing ordering alone saves nothing;
+* **threshold** — hold each job until grid intensity dips to the
+  day's 40th percentile, never waiting past what its deadline allows;
+* **suspend-resume** — start at release, but park the *whole fleet*
+  (YARN blacklist + admin power-off, 0 W) whenever intensity spikes,
+  and boot it back when the air clears.
+
+The report prices every arm in grams of CO2, time-of-use dollars,
+minutes of waiting and deadline misses — and then re-asks the paper's
+question: does the Edison's efficiency edge grow or shrink when the
+grid sets the price?  (Spoiler worth watching for: chasing clean
+grid-seconds into the solar dip lands the work in a *pricier* tariff
+band — the gram-optimal hour and the dollar-optimal hour are not the
+same hour.)
+
+Run:  python examples/carbon_day.py           (a few seconds)
+"""
+
+import os
+
+from repro.carbon import CarbonDayPlan, carbon_experiment
+
+PLAN = os.path.join(os.path.dirname(__file__), "..", "experiments",
+                    "carbon_day.json")
+
+
+def main() -> None:
+    plan = CarbonDayPlan.load(PLAN)
+    print(f"Serving the committed grid day ({plan.day_s:.0f} s, "
+          f"{len(plan.jobs)} deferrable jobs, seed {plan.seed}) "
+          f"{len(plan.policies)}x2 ways — every arm is a full "
+          "cluster simulation...")
+    print()
+    report = carbon_experiment(plan)
+    for line in report.lines():
+        print(line)
+
+    print()
+    print("the suspend-resume day, as the governor lived it (edison):")
+    arm = report.arm("suspend-resume", "edison")
+    for action in arm.actions:
+        verb = ("parked the fleet" if action["action"] == "suspend"
+                else "booted it back")
+        print(f"  t={action['time']:7.1f}s  {verb:18s} "
+              f"(job {action['job']})")
+    for record in arm.records:
+        print(f"  {record['name']:12s} released {record['release_s']:6.0f}"
+              f"  ran {record['start_s']:6.0f}-{record['end_s']:6.0f}"
+              f"  {record['grams_co2']:.3f} g"
+              + (f"  ({record['suspensions']} suspension(s), "
+                 f"{record['suspended_s']:.0f} s parked)"
+                 if record["suspensions"] else ""))
+
+
+if __name__ == "__main__":
+    main()

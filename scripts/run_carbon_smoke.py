@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Carbon smoke: off-path bit-identity plus the eight-arm day.
+
+Three contracts, checked in order:
+
+1. **Off-path fidelity** — the carbon plane must be invisible until
+   used: every committed job kind, run plainly on both platforms, must
+   match the digests in ``experiments/carbon_baseline.json``
+   float-for-float, and attaching an (idle) empty-plan FaultInjector —
+   the only prerequisite the suspend-resume arm has — must not move a
+   single float.
+
+2. **Front-end neutrality** — the no-wait scheduler arm is a queue in
+   front of the same runs: its per-job seconds and joules must equal
+   the plain digests exactly.
+
+3. **Eight-arm acceptance** — the committed seeded day in
+   ``experiments/carbon_day.json`` must show a waiting or
+   suspend-resume policy beating no-wait on grams CO2 at zero deadline
+   misses on both platforms, with the suspend-resume arm actually
+   suspending and the Edison-vs-R620 delta present.  The full report
+   lands in ``--out-dir`` as a JSON artifact.
+
+Run:  PYTHONPATH=src python scripts/run_carbon_smoke.py
+      PYTHONPATH=src python scripts/run_carbon_smoke.py --update
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+REPO = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+BASELINE = os.path.join(REPO, "experiments", "carbon_baseline.json")
+DAY = os.path.join(REPO, "experiments", "carbon_day.json")
+
+failures = []
+
+
+def check(ok: bool, what: str) -> None:
+    print(("  ok  " if ok else "  FAIL") + f"  {what}")
+    if not ok:
+        failures.append(what)
+
+
+FLEETS = (("edison", 4), ("dell", 2))
+
+
+def plain_digests(with_injector: bool, seed: int):
+    """Every committed job kind on both platforms, run outside any
+    carbon machinery (optionally with an idle empty-plan injector)."""
+    from repro.carbon.jobspec import CARBON_JOB_KINDS
+    from repro.faults import FaultInjector
+    from repro.mapreduce.runtime import JobRunner
+
+    digests = {}
+    for kind in sorted(CARBON_JOB_KINDS):
+        for platform, slaves in FLEETS:
+            spec, config = CARBON_JOB_KINDS[kind](platform)
+            runner = JobRunner(platform, slaves, config=config, seed=seed)
+            if with_injector:
+                FaultInjector(runner.cluster)
+            report = runner.run(spec)
+            digests[f"{kind}/{platform}"] = {
+                "seconds": report.seconds, "joules": report.joules,
+                "locality": report.locality_fraction}
+    return digests
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed off-path baseline "
+                             "instead of checking against it")
+    parser.add_argument("--out-dir", default=REPO, metavar="DIR",
+                        help="where the report JSON artifact goes")
+    args = parser.parse_args()
+
+    from repro.carbon import CarbonDayPlan, carbon_experiment
+
+    plan = CarbonDayPlan.load(DAY)
+
+    print("off-path fidelity (carbon plane must be invisible):")
+    plain = plain_digests(with_injector=False, seed=plan.seed)
+    armed = plain_digests(with_injector=True, seed=plan.seed)
+    check(plain == armed,
+          "an idle empty-plan FaultInjector moves no float")
+    if args.update:
+        with open(BASELINE, "w", encoding="utf-8") as handle:
+            json.dump(plain, handle, indent=1)
+            handle.write("\n")
+        print(f"  baseline rewritten -> {BASELINE}")
+    else:
+        with open(BASELINE, encoding="utf-8") as handle:
+            committed = json.load(handle)
+        check(plain == committed,
+              "plain-run digests match the committed baseline")
+
+    print("eight-arm acceptance (committed day, committed seed):")
+    report = carbon_experiment(plan)
+    for line in report.lines():
+        print("  " + line)
+
+    print("front-end neutrality (no-wait arm == plain runs):")
+    for platform, _ in FLEETS:
+        arm = report.arm("no-wait", platform)
+        neutral = all(
+            record["joules"] == plain[f"{record['kind']}/{platform}"]
+            ["joules"]
+            and record["seconds"]
+            == plain[f"{record['kind']}/{platform}"]["seconds"]
+            for record in arm.records)
+        check(neutral,
+              f"no-wait/{platform} per-job seconds+joules equal the "
+              "plain runs")
+
+    for platform, _ in FLEETS:
+        dominating = report.dominating_policies(platform)
+        check(bool(dominating),
+              f"a policy beats no-wait on grams at 0 misses on "
+              f"{platform} ({', '.join(dominating) or 'none'})")
+        arm = report.arm("suspend-resume", platform)
+        check(arm.suspensions > 0,
+              f"suspend-resume/{platform} actually parked the fleet "
+              f"({arm.suspensions} suspensions, "
+              f"{arm.suspended_s:.0f} s)")
+    delta = report.platform_delta()
+    check(delta is not None and delta["no_wait_ratio"] > 1.0,
+          "the R620 day emits more CO2 than the Edison day "
+          + (f"({delta['no_wait_ratio']:.2f}x at release)"
+             if delta else "(no delta)"))
+
+    path = os.path.join(args.out_dir, "carbon_report.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_dict(), handle, indent=1)
+        handle.write("\n")
+    print(f"  artifact -> {path}")
+
+    if failures:
+        print(f"{len(failures)} check(s) failed")
+        return 1
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

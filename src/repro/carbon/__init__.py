@@ -1,0 +1,49 @@
+"""Carbon- and price-aware scheduling of deferrable work.
+
+The paper priced its clusters with the PDU as the only meter; this
+package adds the grid's clock.  Carbon-intensity (gCO2/kWh) and
+time-of-use tariff ($/kWh) signals become simulated-time traces; batch
+MapReduce jobs gain release times and deadlines; and four policies —
+no-wait, EDD, threshold-waiting, suspend-resume (parking the whole
+fleet in the PR 6 admin power states mid-run) — are priced against
+each other in grams of CO2, dollars, wait hours and deadline misses,
+on both the Edison and R620 clusters.
+
+Everything is strictly opt-in.  The scheduler is a *front end*: jobs
+submitted outside it never see a deferral queue, a governor or an
+extra process, and the no-wait arm's runs are float-for-float
+identical to plain ``run_job`` — the same hard off-path guarantee
+`repro.trace`, `repro.telemetry`, `repro.faults`, `repro.resilience`
+and `repro.autoscale` make.
+"""
+
+from .governor import CarbonGovernor
+from .jobspec import CARBON_JOB_KINDS, CarbonJobSpec
+from .ledger import CarbonLedger, GovernorAction, JobRecord, grid_impact
+from .policy import (POLICY_KINDS, EddPolicy, NoWaitPolicy, PolicySpec,
+                     SchedulingPolicy, SuspendResumePolicy,
+                     ThresholdWaitPolicy, make_policy)
+from .scheduler import CarbonScheduler, run_policy_day
+from .trace import (SignalTrace, evening_peak_price, solar_dip_intensity)
+
+__all__ = [
+    "CARBON_JOB_KINDS", "CarbonArm", "CarbonDayPlan", "CarbonGovernor",
+    "CarbonJobSpec", "CarbonLedger", "CarbonReport", "CarbonScheduler",
+    "DAY_SEED", "EddPolicy", "GovernorAction", "JobRecord",
+    "NoWaitPolicy", "POLICY_KINDS", "PLATFORMS", "PolicySpec",
+    "SchedulingPolicy", "SignalTrace", "SuspendResumePolicy",
+    "ThresholdWaitPolicy", "carbon_experiment", "evening_peak_price",
+    "grid_impact", "make_policy", "run_policy_day", "solar_dip_intensity",
+]
+
+_REPORT_NAMES = ("CarbonArm", "CarbonDayPlan", "CarbonReport", "DAY_SEED",
+                 "PLATFORMS", "carbon_experiment")
+
+
+def __getattr__(name):
+    # Deferred: the report pulls in the whole MapReduce surface — keep
+    # it off the path of anyone who only wants traces and policies.
+    if name in _REPORT_NAMES:
+        from . import report
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,309 @@
+"""The eight-arm headline experiment: four policies x two platforms.
+
+One committed, seeded day of deferrable TeraSort/WikiDB jobs under a
+committed duck-curve intensity trace and a time-of-use tariff, served
+by every policy on both clusters.  Each arm reports the same
+currencies — joules, grams CO2, dollars, wait hours, deadline misses —
+so the report can answer the two questions the paper could not ask:
+
+* does deferring work to cleaner grid-seconds beat running at release
+  (policy vs no-wait, per platform), and
+* does the Edison's efficiency edge grow or shrink when the *grid*
+  sets the price (Edison vs R620, per policy)?
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .jobspec import CarbonJobSpec
+from .ledger import CarbonLedger
+from .policy import POLICY_KINDS, PolicySpec
+from .scheduler import CarbonScheduler
+from .trace import SignalTrace
+
+#: Seed of the committed day (CI smoke + docs), same spirit as
+#: repro.autoscale's DAY_SEED and repro.resilience's GRAY_SEED.
+DAY_SEED = 20260809
+
+#: The platforms every committed day compares.
+PLATFORMS = ("edison", "dell")
+
+
+@dataclass(frozen=True)
+class CarbonDayPlan:
+    """One committed, seeded carbon day: jobs, signals, arms."""
+
+    name: str
+    day_s: float
+    intensity: SignalTrace
+    price: SignalTrace
+    jobs: Tuple[CarbonJobSpec, ...]
+    slaves: Mapping[str, int] = field(
+        default_factory=lambda: {"edison": 4, "dell": 2})
+    policies: Tuple[PolicySpec, ...] = field(
+        default_factory=lambda: tuple(PolicySpec(kind=k)
+                                      for k in POLICY_KINDS))
+    seed: int = DAY_SEED
+
+    def __post_init__(self):
+        if self.day_s <= 0:
+            raise ValueError("day_s must be > 0")
+        if not self.jobs:
+            raise ValueError("a day needs at least one job")
+        if not self.policies:
+            raise ValueError("a day needs at least one policy arm")
+        kinds = [p.kind for p in self.policies]
+        if len(set(kinds)) != len(kinds):
+            raise ValueError("duplicate policy kinds in one plan")
+        for platform in PLATFORMS:
+            if self.slaves.get(platform, 0) < 1:
+                raise ValueError(f"need slaves[{platform!r}] >= 1")
+        for job in self.jobs:
+            if job.deadline_s > self.day_s:
+                raise ValueError(f"job {job.name!r} deadline exceeds "
+                                 "the day")
+
+    def to_dict(self) -> Dict:
+        return {"name": self.name, "day_s": self.day_s,
+                "seed": self.seed,
+                "intensity": self.intensity.to_dict(),
+                "price": self.price.to_dict(),
+                "slaves": dict(self.slaves),
+                "policies": [p.to_dict() for p in self.policies],
+                "jobs": [j.to_dict() for j in self.jobs]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CarbonDayPlan":
+        return cls(name=data["name"], day_s=data["day_s"],
+                   seed=data["seed"],
+                   intensity=SignalTrace.from_dict(data["intensity"]),
+                   price=SignalTrace.from_dict(data["price"]),
+                   slaves=dict(data["slaves"]),
+                   policies=tuple(PolicySpec.from_dict(p)
+                                  for p in data["policies"]),
+                   jobs=tuple(CarbonJobSpec.from_dict(j)
+                              for j in data["jobs"]))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "CarbonDayPlan":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+@dataclass(frozen=True)
+class CarbonArm:
+    """One (policy, platform) day, fully accounted."""
+
+    policy: str
+    platform: str
+    joules: float
+    grams_co2: float
+    energy_usd: float
+    wait_hours: float
+    deadline_misses: int
+    suspensions: int = 0
+    suspended_s: float = 0.0
+    records: Tuple[Dict, ...] = field(default_factory=tuple)
+    actions: Tuple[Dict, ...] = field(default_factory=tuple)
+
+    @property
+    def label(self) -> str:
+        return f"{self.policy}/{self.platform}"
+
+    def to_dict(self) -> Dict:
+        return {"policy": self.policy, "platform": self.platform,
+                "joules": self.joules, "grams_co2": self.grams_co2,
+                "energy_usd": self.energy_usd,
+                "wait_hours": self.wait_hours,
+                "deadline_misses": self.deadline_misses,
+                "suspensions": self.suspensions,
+                "suspended_s": self.suspended_s,
+                "records": list(self.records),
+                "actions": list(self.actions)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CarbonArm":
+        return cls(policy=data["policy"], platform=data["platform"],
+                   joules=data["joules"], grams_co2=data["grams_co2"],
+                   energy_usd=data["energy_usd"],
+                   wait_hours=data["wait_hours"],
+                   deadline_misses=data["deadline_misses"],
+                   suspensions=data.get("suspensions", 0),
+                   suspended_s=data.get("suspended_s", 0.0),
+                   records=tuple(data.get("records", ())),
+                   actions=tuple(data.get("actions", ())))
+
+    @classmethod
+    def from_ledger(cls, policy: str, platform: str,
+                    ledger: CarbonLedger) -> "CarbonArm":
+        return cls(policy=policy, platform=platform,
+                   joules=ledger.joules, grams_co2=ledger.grams_co2,
+                   energy_usd=ledger.energy_usd,
+                   wait_hours=ledger.wait_hours,
+                   deadline_misses=ledger.deadline_misses,
+                   suspensions=ledger.suspensions,
+                   suspended_s=ledger.suspended_s,
+                   records=tuple(r.to_dict() for r in ledger.records),
+                   actions=tuple(a.to_dict() for a in ledger.actions))
+
+
+@dataclass(frozen=True)
+class CarbonReport:
+    """All arms side by side, with the dominance and platform verdicts."""
+
+    plan_name: str
+    detail: str
+    arms: Tuple[CarbonArm, ...]
+
+    def arm(self, policy: str, platform: str) -> CarbonArm:
+        for arm in self.arms:
+            if arm.policy == policy and arm.platform == platform:
+                return arm
+        raise KeyError(f"no arm for policy {policy!r} on {platform!r}")
+
+    def platforms(self) -> List[str]:
+        seen: List[str] = []
+        for arm in self.arms:
+            if arm.platform not in seen:
+                seen.append(arm.platform)
+        return seen
+
+    def policies(self) -> List[str]:
+        seen: List[str] = []
+        for arm in self.arms:
+            if arm.policy not in seen:
+                seen.append(arm.policy)
+        return seen
+
+    def dominating_policies(self, platform: str) -> List[str]:
+        """Policies that beat no-wait on grams at zero deadline misses."""
+        base = self.arm("no-wait", platform)
+        return [arm.policy for arm in self.arms
+                if arm.platform == platform
+                and arm.policy != "no-wait"
+                and arm.deadline_misses == 0
+                and arm.grams_co2 < base.grams_co2]
+
+    def best_arm(self, platform: str) -> CarbonArm:
+        """Lowest-gram arm with zero misses (no-wait included)."""
+        eligible = [arm for arm in self.arms
+                    if arm.platform == platform
+                    and arm.deadline_misses == 0]
+        if not eligible:
+            raise ValueError(f"every {platform!r} arm missed a deadline")
+        return min(eligible, key=lambda a: (a.grams_co2, a.policy))
+
+    def grams_saved(self, platform: str) -> float:
+        """Best policy's grams saved vs no-wait on ``platform``."""
+        base = self.arm("no-wait", platform)
+        return base.grams_co2 - self.best_arm(platform).grams_co2
+
+    def platform_delta(self) -> Optional[Dict[str, float]]:
+        """Edison-vs-R620: the grams ratio at release and at best.
+
+        ``no_wait_ratio`` is how many times more CO2 the Dell day emits
+        when both run at release; ``best_ratio`` re-asks with each
+        platform on its own best zero-miss policy.  The gap between the
+        two is whether carbon-aware scheduling widens or narrows the
+        micro-server edge.
+        """
+        if not ("edison" in self.platforms()
+                and "dell" in self.platforms()):
+            return None
+        edison_base = self.arm("no-wait", "edison").grams_co2
+        dell_base = self.arm("no-wait", "dell").grams_co2
+        edison_best = self.best_arm("edison").grams_co2
+        dell_best = self.best_arm("dell").grams_co2
+        if min(edison_base, edison_best) <= 0:
+            return None
+        return {"no_wait_ratio": dell_base / edison_base,
+                "best_ratio": dell_best / edison_best,
+                "edison_grams_saved": self.grams_saved("edison"),
+                "dell_grams_saved": self.grams_saved("dell")}
+
+    def to_dict(self) -> Dict:
+        return {"plan_name": self.plan_name, "detail": self.detail,
+                "arms": [arm.to_dict() for arm in self.arms],
+                "dominating_policies": {
+                    platform: self.dominating_policies(platform)
+                    for platform in self.platforms()},
+                "platform_delta": self.platform_delta()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CarbonReport":
+        return cls(plan_name=data["plan_name"], detail=data["detail"],
+                   arms=tuple(CarbonArm.from_dict(a)
+                              for a in data["arms"]))
+
+    def lines(self) -> List[str]:
+        """The four-policy table per platform, CLI/docs-ready."""
+        out = [f"Carbon day — {self.plan_name} ({self.detail})"]
+        for platform in self.platforms():
+            arms = [arm for arm in self.arms if arm.platform == platform]
+            out.append(f"  {platform}:")
+            out.append("    " + f"{'':16s}"
+                       + "".join(f"{arm.policy:>16s}" for arm in arms))
+
+            def row(name: str, fmt) -> None:
+                out.append("    " + f"{name:16s}"
+                           + "".join(f"{fmt(a):>16s}" for a in arms))
+
+            row("energy", lambda a: f"{a.joules:.0f} J")
+            row("grams CO2", lambda a: f"{a.grams_co2:.3f} g")
+            row("electricity", lambda a: f"${a.energy_usd:.6f}")
+            row("wait", lambda a: f"{a.wait_hours * 60:.1f} min")
+            row("deadline misses", lambda a: f"{a.deadline_misses}")
+            row("suspensions", lambda a: f"{a.suspensions}")
+            dominating = self.dominating_policies(platform)
+            best = self.best_arm(platform)
+            saved = self.grams_saved(platform)
+            base = self.arm("no-wait", platform)
+            pct = (100.0 * saved / base.grams_co2
+                   if base.grams_co2 > 0 else 0.0)
+            if dominating:
+                out.append(f"    verdict: {', '.join(dominating)} beat "
+                           f"no-wait; best is {best.policy} "
+                           f"(-{saved:.3f} g, -{pct:.1f}%, 0 misses)")
+            else:
+                out.append("    verdict: no policy beat no-wait")
+        delta = self.platform_delta()
+        if delta is not None:
+            out.append(
+                f"  Edison vs R620: the Dell day emits "
+                f"{delta['no_wait_ratio']:.2f}x Edison's CO2 at release, "
+                f"{delta['best_ratio']:.2f}x with each fleet on its best "
+                f"policy")
+        return out
+
+
+# -- running the experiment ----------------------------------------------
+
+
+def carbon_experiment(plan: CarbonDayPlan) -> CarbonReport:
+    """Run the committed day every way and report all arms."""
+    arms: List[CarbonArm] = []
+    for platform in PLATFORMS:
+        if platform not in plan.slaves:
+            continue
+        for policy in plan.policies:
+            scheduler = CarbonScheduler(
+                platform, plan.slaves[platform], policy,
+                plan.intensity, plan.price, seed=plan.seed)
+            ledger = scheduler.run_day(list(plan.jobs))
+            arms.append(CarbonArm.from_ledger(policy.kind, platform,
+                                              ledger))
+    mean_i = plan.intensity.mean()
+    return CarbonReport(
+        plan_name=plan.name,
+        detail=f"{plan.day_s:.0f} s day, {len(plan.jobs)} deferrable "
+               f"jobs, mean grid {mean_i:.0f} {plan.intensity.unit}, "
+               f"seed {plan.seed}",
+        arms=tuple(arms))

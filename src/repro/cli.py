@@ -331,6 +331,23 @@ def _cmd_autoscale(args) -> int:
     return 0
 
 
+def _cmd_carbon(args) -> int:
+    """The carbon day: four deferral policies x both platforms."""
+    import json
+    from .carbon import CarbonDayPlan, carbon_experiment
+    if args.json:
+        _check_parent_dir("--json", args.json)
+    plan = CarbonDayPlan.load(args.plan)
+    report = carbon_experiment(plan)
+    for line in report.lines():
+        print(line)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=1)
+        print(f"report -> {args.json}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .telemetry import (load_bundle, summary_lines, write_dashboard,
                             write_prometheus)
@@ -605,6 +622,21 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write a Chrome/Perfetto trace of all "
                                 "three arms to PATH")
     autoscale.set_defaults(func=_cmd_autoscale)
+
+    carbon = sub.add_parser(
+        "carbon",
+        help="carbon day: four deferral policies (no-wait, EDD, "
+             "threshold-waiting, suspend-resume) x both platforms, "
+             "with grams CO2, dollars, wait and deadline misses per arm")
+    carbon.add_argument(
+        "--plan", default=os.path.join(os.path.dirname(__file__), "..", "..",
+                                       "experiments", "carbon_day.json"),
+        metavar="FILE",
+        help="CarbonDayPlan JSON (default: the committed experiments/"
+             "carbon_day.json)")
+    carbon.add_argument("--json", metavar="PATH",
+                        help="also write the report as JSON to PATH")
+    carbon.set_defaults(func=_cmd_carbon)
 
     sub.add_parser("table2", help="capacity estimate") \
         .set_defaults(func=_cmd_table2)

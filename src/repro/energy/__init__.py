@@ -1,8 +1,8 @@
 """Energy measurement: power meters and work-done-per-joule accounting."""
 
-from .account import (EnergyReport, MitigationCosts, ScalingCosts,
-                      efficiency_gain, work_done_per_joule)
+from .account import (EnergyReport, GridImpact, MitigationCosts,
+                      ScalingCosts, efficiency_gain, work_done_per_joule)
 from .meter import PowerMeter
 
-__all__ = ["EnergyReport", "MitigationCosts", "PowerMeter", "ScalingCosts",
-           "efficiency_gain", "work_done_per_joule"]
+__all__ = ["EnergyReport", "GridImpact", "MitigationCosts", "PowerMeter",
+           "ScalingCosts", "efficiency_gain", "work_done_per_joule"]

@@ -85,6 +85,28 @@ class ScalingCosts:
         return self.boot_j + self.drain_j
 
 
+@dataclass(frozen=True)
+class GridImpact:
+    """What a run's joules cost the *grid*: grams of CO2 and dollars.
+
+    Filled in by :mod:`repro.carbon`: the meter's power trace weighted
+    by time-varying intensity (gCO2/kWh) and tariff ($/kWh) signals.
+    The joules are the same whenever the run happens; these two numbers
+    are what moving it around the day actually changes.
+    """
+
+    grams_co2: float = 0.0
+    energy_usd: float = 0.0
+
+    def __post_init__(self):
+        if self.grams_co2 < 0 or self.energy_usd < 0:
+            raise ValueError("grams_co2 and energy_usd must be >= 0")
+
+    def __add__(self, other: "GridImpact") -> "GridImpact":
+        return GridImpact(grams_co2=self.grams_co2 + other.grams_co2,
+                          energy_usd=self.energy_usd + other.energy_usd)
+
+
 def work_done_per_joule(work_units: float, joules: float) -> float:
     """Work-done-per-joule for ``work_units`` of work costing ``joules``."""
     if joules <= 0:

@@ -347,6 +347,58 @@ class JobRunner:
                 timeline.mem.record(now, self.meter.per_component["mem"].values[-1])
             yield interval
 
+    # -- administrative suspend/resume (the carbon plane's lever) ----------
+    #
+    # Deliberate cluster-wide pause, riding the same machinery a crash
+    # does but through the injector's *admin* power states: no
+    # FaultRecord is written, no downtime accrues, and — crucially —
+    # completed map output on the parked nodes' disks stays trusted
+    # (the fault listener ignores "admin" edges), so a resumed job only
+    # re-runs the attempts that were in flight at the suspend instant.
+    # Both methods are dead code without a caller: a run that never
+    # suspends is bit-identical to one built before they existed.
+
+    def suspend_workers(self) -> None:
+        """Park every slave: blacklist in YARN, then admin power-off.
+
+        Requires an attached :class:`~repro.faults.FaultInjector` (an
+        empty-plan one suffices).  Blacklisting first means the
+        interrupted attempts' container releases land on an
+        already-swept NodeManager (a no-op), exactly as crash expiry
+        orders it; new allocation requests then wait for capacity
+        instead of churning grants on parked nodes.
+        """
+        faults = self.sim.faults
+        if faults is None:
+            raise RuntimeError("suspend_workers needs a FaultInjector "
+                               "attached to the cluster")
+        for server in self.slave_servers:
+            self.yarn.mark_node_down(server.name)
+        for server in self.slave_servers:
+            faults.admin_power_off(server.name)
+
+    def resume_workers(self, boot_s: float = 0.0):
+        """Process generator: wake every parked slave.
+
+        Nodes draw idle power for ``boot_s`` (``admin_booting``), then
+        return to service with a fresh container pool — capacity is
+        only schedulable once it can actually run work.
+        """
+        if boot_s < 0:
+            raise ValueError("boot_s must be >= 0")
+        faults = self.sim.faults
+        if faults is None:
+            raise RuntimeError("resume_workers needs a FaultInjector "
+                               "attached to the cluster")
+        for server in self.slave_servers:
+            if faults.admin_state(server.name) == "off":
+                faults.admin_begin_boot(server.name)
+        if boot_s > 0:
+            yield boot_s
+        for server in self.slave_servers:
+            faults.admin_power_on(server.name)
+            self.yarn.mark_node_up(server.name)
+
     def _density(self, mem_mb: int, tasks: int) -> float:
         """Concurrent containers per vcore during one phase."""
         per_node_slots = max(1, self.config.node_task_mem_mb // mem_mb)

@@ -3,9 +3,11 @@
 from .model import (
     DELL_TCO, EDISON_TCO, HOURS_PER_YEAR, TcoInputs,
     amortized_hardware_usd, cluster_tco, energy_cost_usd,
-    node_energy_cost, savings_fraction, table10,
+    energy_cost_usd_tou, node_energy_cost, savings_fraction, table10,
+    weighted_energy_rate,
 )
 
 __all__ = ["DELL_TCO", "EDISON_TCO", "HOURS_PER_YEAR", "TcoInputs",
            "amortized_hardware_usd", "cluster_tco", "energy_cost_usd",
-           "node_energy_cost", "savings_fraction", "table10"]
+           "energy_cost_usd_tou", "node_energy_cost", "savings_fraction",
+           "table10", "weighted_energy_rate"]

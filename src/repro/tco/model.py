@@ -69,6 +69,70 @@ def energy_cost_usd(joules: float,
     return joules / 3.6e6 * usd_per_kwh
 
 
+def weighted_energy_rate(power_series, rate_points) -> float:
+    """Integrate a power trace against a piecewise-constant rate.
+
+    ``power_series`` is a sorted iterable of ``(time_s, watts)`` samples
+    (a :class:`repro.sim.TimeSeries`'s ``pairs()`` works directly); the
+    power between samples is interpolated linearly, exactly as
+    :meth:`TimeSeries.integrate` does for plain joules.  ``rate_points``
+    is a sorted iterable of ``(start_s, rate_per_kwh)`` steps: each rate
+    applies from its start time until the next point's start; the first
+    rate also covers any earlier samples.  Returns the rate-weighted
+    energy, ``sum(kWh_i * rate_i)`` with every trapezoid split exactly
+    at the rate boundaries it straddles.
+
+    This is the common core of time-of-use electricity pricing
+    (rate = $/kWh) and grid-carbon accounting (rate = gCO2/kWh).
+    """
+    pairs = list(power_series.pairs() if hasattr(power_series, "pairs")
+                 else power_series)
+    steps = list(rate_points)
+    if not steps:
+        raise ValueError("rate_points must contain at least one step")
+    for (t0, _), (t1, _) in zip(steps, steps[1:]):
+        if t1 <= t0:
+            raise ValueError("rate_points must be sorted by start time")
+    total = 0.0
+    for (ta, wa), (tb, wb) in zip(pairs, pairs[1:]):
+        if tb < ta:
+            raise ValueError("power_series must be sorted by time")
+        if tb == ta:
+            continue
+        # Split [ta, tb] at every rate boundary strictly inside it.
+        cuts = [ta] + [t for t, _ in steps if ta < t < tb] + [tb]
+        slope = (wb - wa) / (tb - ta)
+        rate_index = 0
+        for x0, x1 in zip(cuts, cuts[1:]):
+            while (rate_index + 1 < len(steps)
+                   and steps[rate_index + 1][0] <= x0):
+                rate_index += 1
+            w0 = wa + slope * (x0 - ta)
+            w1 = wa + slope * (x1 - ta)
+            joules = 0.5 * (w0 + w1) * (x1 - x0)
+            total += joules / 3.6e6 * steps[rate_index][1]
+    return total
+
+
+def energy_cost_usd_tou(joules_series, tariff) -> float:
+    """Time-of-use electricity cost of a metered power trace.
+
+    The time-of-use variant of :func:`energy_cost_usd`: instead of one
+    flat $/kWh, ``tariff`` is a sorted sequence of
+    ``(start_s, usd_per_kwh)`` steps (e.g. off-peak/shoulder/peak
+    bands), and ``joules_series`` is the power trace whose trapezoidal
+    integral is the run's joules — a
+    :class:`~repro.sim.TimeSeries` or ``(time_s, watts)`` pairs.
+    Trapezoids straddling a tariff boundary are split exactly at it, so
+    a constant tariff reproduces :func:`energy_cost_usd` to the float.
+    """
+    steps = list(tariff)
+    for _, usd_per_kwh in steps:
+        if usd_per_kwh < 0:
+            raise ValueError("tariff rates must be >= 0")
+    return weighted_energy_rate(joules_series, steps)
+
+
 def amortized_hardware_usd(total_node_cost_usd: float, seconds: float,
                            lifetime_years: float = paper.T9_LIFETIME_YEARS
                            ) -> float:

@@ -80,3 +80,34 @@ def test_autoscale_command_runs_a_tiny_day(tmp_path, capsys):
     report = json.loads(json_path.read_text())
     assert [arm["label"] for arm in report["arms"]] == [
         "static-edison", "static-dell", "autoscaled-hybrid"]
+
+
+def test_carbon_command_runs_a_tiny_day(tmp_path, capsys):
+    import json
+
+    from repro.carbon import (CarbonDayPlan, CarbonJobSpec, PolicySpec,
+                              evening_peak_price, solar_dip_intensity)
+
+    plan = CarbonDayPlan(
+        name="tiny-day", day_s=7200.0,
+        intensity=solar_dip_intensity(7200.0),
+        price=evening_peak_price(7200.0),
+        jobs=(CarbonJobSpec("ts", "terasort-mini", 300.0, 6000.0,
+                            est_s={"edison": 400.0, "dell": 80.0}),),
+        slaves={"edison": 2, "dell": 1},
+        policies=(PolicySpec(kind="no-wait"),
+                  PolicySpec(kind="threshold", threshold_pct=40.0)))
+    plan_path = tmp_path / "day.json"
+    plan.save(str(plan_path))
+    json_path = tmp_path / "report.json"
+
+    assert main(["carbon", "--plan", str(plan_path),
+                 "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "grams CO2" in out
+    assert "verdict" in out
+    report = json.loads(json_path.read_text())
+    assert [(arm["policy"], arm["platform"]) for arm in report["arms"]] \
+        == [("no-wait", "edison"), ("threshold", "edison"),
+            ("no-wait", "dell"), ("threshold", "dell")]
+    assert report["platform_delta"]["no_wait_ratio"] > 1.0

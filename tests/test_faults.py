@@ -325,3 +325,60 @@ def test_certain_reduce_failure_fails_the_job():
     doomed = replace(small_spec(), reduce_failure_rate=0.999999)
     with pytest.raises(JobFailed, match="reduce"):
         runner.run(doomed)
+
+
+# -- admin power states (the carbon plane's suspend lever) --------------------
+
+def test_admin_double_power_off_is_idempotent():
+    sim = Simulation()
+    cluster = edison_cluster(sim, 2)
+    injector = FaultInjector(cluster)
+    events = []
+    injector.add_listener(lambda edge, node, kind:
+                          events.append((edge, node, kind)))
+    injector.admin_power_off("edison-0")
+    injector.admin_power_off("edison-0")         # second call is a no-op
+    assert injector.admin_state("edison-0") == "off"
+    assert events == [("down", "edison-0", "admin")]
+    server = cluster.servers["edison-0"]
+    assert injector.node_watts(server, server.utilization_window()) == 0.0
+    injector.admin_begin_boot("edison-0")
+    injector.admin_power_on("edison-0")
+    assert injector.is_up("edison-0")
+    # Admin round trips write no records and accrue no downtime.
+    assert injector.records == []
+    assert injector.downtime("edison-0") == 0.0
+
+
+def test_admin_boot_requires_off_but_power_on_is_idempotent():
+    sim = Simulation()
+    cluster = edison_cluster(sim, 1)
+    injector = FaultInjector(cluster)
+    events = []
+    injector.add_listener(lambda edge, node, kind:
+                          events.append((edge, node, kind)))
+    with pytest.raises(RuntimeError):
+        injector.admin_begin_boot("edison-0")    # not off
+    injector.admin_power_on("edison-0")          # already up: a no-op
+    assert injector.is_up("edison-0")
+    assert events == []                          # no spurious "up" edge
+
+
+def test_crash_while_admin_off_counts_one_fault_record():
+    sim = Simulation()
+    cluster = edison_cluster(sim, 2)
+    injector = FaultInjector(cluster, FaultPlan(
+        faults=(node_crash("edison-0", at=1.0, repair_s=2.0),)))
+    injector.admin_power_off("edison-0")
+    sim.run(until=2.0)                           # crash lands while parked
+    assert not injector.is_up("edison-0")
+    assert len(injector.records) == 1            # the crash, and only it
+    sim.run(until=4.0)                           # fault repaired...
+    assert len(injector.records) == 1
+    assert injector.records[0].end == pytest.approx(3.0)
+    assert not injector.is_up("edison-0")        # ...but still parked
+    injector.admin_begin_boot("edison-0")
+    injector.admin_power_on("edison-0")
+    assert injector.is_up("edison-0")
+    # Downtime belongs to the fault alone, not the admin park.
+    assert injector.downtime("edison-0") == pytest.approx(2.0)

@@ -3,9 +3,11 @@
 import pytest
 
 from repro.core import paperdata as paper
+from repro.sim import TimeSeries
 from repro.tco import (
-    DELL_TCO, EDISON_TCO, TcoInputs, cluster_tco, node_energy_cost,
-    savings_fraction, table10,
+    DELL_TCO, EDISON_TCO, TcoInputs, cluster_tco, energy_cost_usd,
+    energy_cost_usd_tou, node_energy_cost, savings_fraction, table10,
+    weighted_energy_rate,
 )
 
 
@@ -62,3 +64,59 @@ def test_edison_cluster_saves_up_to_47_percent():
 def test_edison_always_cheaper():
     for scenario in table10().values():
         assert scenario["edison"] < scenario["dell"]
+
+
+# -- time-of-use pricing -----------------------------------------------------
+
+
+def test_tou_flat_tariff_matches_flat_helper():
+    # 1 kW for 7200 s = 2 kWh; a single-step tariff must reproduce the
+    # flat-rate helper to the float.
+    series = [(0.0, 1000.0), (7200.0, 1000.0)]
+    flat = energy_cost_usd(2.0 * 3.6e6, usd_per_kwh=0.10)
+    assert energy_cost_usd_tou(series, [(0.0, 0.10)]) == flat
+
+
+def test_tou_boundary_straddling_splits_the_trapezoid():
+    # 1 kW from t=0 to t=7200 with the price doubling at t=3600: one
+    # kWh at $0.10 plus one kWh at $0.20, even though no power sample
+    # lands on the boundary.
+    series = [(0.0, 1000.0), (7200.0, 1000.0)]
+    tariff = [(0.0, 0.10), (3600.0, 0.20)]
+    assert energy_cost_usd_tou(series, tariff) == pytest.approx(0.30)
+
+
+def test_tou_ramp_straddling_boundary_weighs_each_side():
+    # Power ramps 0 -> 2 kW over [0, 7200]; the first half integrates
+    # 0.5 kWh (mean 0.5 kW), the second 1.5 kWh (mean 1.5 kW).
+    series = [(0.0, 0.0), (7200.0, 2000.0)]
+    tariff = [(0.0, 0.10), (3600.0, 0.20)]
+    assert energy_cost_usd_tou(series, tariff) == pytest.approx(
+        0.5 * 0.10 + 1.5 * 0.20)
+
+
+def test_tou_samples_before_first_tariff_point_use_first_rate():
+    series = [(0.0, 1000.0), (3600.0, 1000.0)]
+    assert energy_cost_usd_tou(series, [(7200.0, 0.50)]) \
+        == pytest.approx(0.50)
+
+
+def test_tou_accepts_timeseries_and_many_bands():
+    series = TimeSeries("power")
+    for t in range(0, 4 * 3600 + 1, 600):
+        series.record(float(t), 1000.0)
+    # Four hourly bands: $0.10, $0.30, $0.10, $0.30 -> $0.80 total.
+    tariff = [(0.0, 0.10), (3600.0, 0.30), (7200.0, 0.10), (10800.0, 0.30)]
+    assert energy_cost_usd_tou(series, tariff) == pytest.approx(0.80)
+
+
+def test_weighted_energy_rate_validation():
+    with pytest.raises(ValueError):
+        weighted_energy_rate([(0.0, 1.0), (1.0, 1.0)], [])
+    with pytest.raises(ValueError):
+        weighted_energy_rate([(0.0, 1.0), (1.0, 1.0)],
+                             [(1.0, 0.1), (0.5, 0.2)])
+    with pytest.raises(ValueError):
+        weighted_energy_rate([(1.0, 1.0), (0.0, 1.0)], [(0.0, 0.1)])
+    with pytest.raises(ValueError):
+        energy_cost_usd_tou([(0.0, 1.0), (1.0, 1.0)], [(0.0, -0.1)])
