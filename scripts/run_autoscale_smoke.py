@@ -21,25 +21,17 @@ Run:  PYTHONPATH=src python scripts/run_autoscale_smoke.py
       PYTHONPATH=src python scripts/run_autoscale_smoke.py --update
 """
 
-import argparse
-import json
 import os
 import sys
 from dataclasses import asdict
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+import smokelib
+from smokelib import check
 
-REPO = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
-BASELINE = os.path.join(REPO, "experiments", "autoscale_baseline.json")
-DAY = os.path.join(REPO, "experiments", "autoscale_day.json")
+smokelib.bootstrap()
 
-failures = []
-
-
-def check(ok: bool, what: str) -> None:
-    print(("  ok  " if ok else "  FAIL") + f"  {what}")
-    if not ok:
-        failures.append(what)
+BASELINE = os.path.join(smokelib.EXPERIMENTS, "autoscale_baseline.json")
+DAY = os.path.join(smokelib.EXPERIMENTS, "autoscale_day.json")
 
 
 def off_path_digests(autoscale):
@@ -66,13 +58,7 @@ def off_path_digests(autoscale):
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--update", action="store_true",
-                        help="rewrite the committed off-path baseline "
-                             "instead of checking against it")
-    parser.add_argument("--out-dir", default=REPO, metavar="DIR",
-                        help="where the report JSON artifact goes")
-    args = parser.parse_args()
+    args = smokelib.make_parser(__doc__).parse_args()
 
     from repro.autoscale import (AutoscaleConfig, DayPlan,
                                  autoscale_experiment)
@@ -83,16 +69,9 @@ def main() -> int:
     check(plain == disabled,
           "autoscale=None and AutoscaleConfig.disabled() are "
           "bit-identical")
-    if args.update:
-        with open(BASELINE, "w", encoding="utf-8") as handle:
-            json.dump(plain, handle, indent=1)
-            handle.write("\n")
-        print(f"  baseline rewritten -> {BASELINE}")
-    else:
-        with open(BASELINE, encoding="utf-8") as handle:
-            committed = json.load(handle)
-        check(plain == committed,
-              "off-path digests match the committed baseline")
+    smokelib.compare_or_update(
+        BASELINE, plain, args.update,
+        "off-path digests match the committed baseline")
 
     print("three-arm acceptance (committed day, committed seed):")
     plan = DayPlan.load(DAY)
@@ -118,17 +97,9 @@ def main() -> int:
           f"the controller evaluated ({hybrid.counters.get('evals', 0)} "
           "ticks)")
 
-    path = os.path.join(args.out_dir, "autoscale_report.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report.to_dict(), handle, indent=1)
-        handle.write("\n")
-    print(f"  artifact -> {path}")
-
-    if failures:
-        print(f"{len(failures)} check(s) failed")
-        return 1
-    print("all checks passed")
-    return 0
+    smokelib.write_artifact(args.out_dir, "autoscale_report.json",
+                            report.to_dict())
+    return smokelib.finish()
 
 
 if __name__ == "__main__":

@@ -25,25 +25,16 @@ Run:  PYTHONPATH=src python scripts/run_carbon_smoke.py
       PYTHONPATH=src python scripts/run_carbon_smoke.py --update
 """
 
-import argparse
-import json
 import os
 import sys
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+import smokelib
+from smokelib import check
 
-REPO = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
-BASELINE = os.path.join(REPO, "experiments", "carbon_baseline.json")
-DAY = os.path.join(REPO, "experiments", "carbon_day.json")
+smokelib.bootstrap()
 
-failures = []
-
-
-def check(ok: bool, what: str) -> None:
-    print(("  ok  " if ok else "  FAIL") + f"  {what}")
-    if not ok:
-        failures.append(what)
-
+BASELINE = os.path.join(smokelib.EXPERIMENTS, "carbon_baseline.json")
+DAY = os.path.join(smokelib.EXPERIMENTS, "carbon_day.json")
 
 FLEETS = (("edison", 4), ("dell", 2))
 
@@ -70,13 +61,7 @@ def plain_digests(with_injector: bool, seed: int):
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--update", action="store_true",
-                        help="rewrite the committed off-path baseline "
-                             "instead of checking against it")
-    parser.add_argument("--out-dir", default=REPO, metavar="DIR",
-                        help="where the report JSON artifact goes")
-    args = parser.parse_args()
+    args = smokelib.make_parser(__doc__).parse_args()
 
     from repro.carbon import CarbonDayPlan, carbon_experiment
 
@@ -87,16 +72,9 @@ def main() -> int:
     armed = plain_digests(with_injector=True, seed=plan.seed)
     check(plain == armed,
           "an idle empty-plan FaultInjector moves no float")
-    if args.update:
-        with open(BASELINE, "w", encoding="utf-8") as handle:
-            json.dump(plain, handle, indent=1)
-            handle.write("\n")
-        print(f"  baseline rewritten -> {BASELINE}")
-    else:
-        with open(BASELINE, encoding="utf-8") as handle:
-            committed = json.load(handle)
-        check(plain == committed,
-              "plain-run digests match the committed baseline")
+    smokelib.compare_or_update(
+        BASELINE, plain, args.update,
+        "plain-run digests match the committed baseline")
 
     print("eight-arm acceptance (committed day, committed seed):")
     report = carbon_experiment(plan)
@@ -132,17 +110,9 @@ def main() -> int:
           + (f"({delta['no_wait_ratio']:.2f}x at release)"
              if delta else "(no delta)"))
 
-    path = os.path.join(args.out_dir, "carbon_report.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report.to_dict(), handle, indent=1)
-        handle.write("\n")
-    print(f"  artifact -> {path}")
-
-    if failures:
-        print(f"{len(failures)} check(s) failed")
-        return 1
-    print("all checks passed")
-    return 0
+    smokelib.write_artifact(args.out_dir, "carbon_report.json",
+                            report.to_dict())
+    return smokelib.finish()
 
 
 if __name__ == "__main__":

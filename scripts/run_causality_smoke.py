@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Causality smoke: tracing stays invisible, and its sums close.
+
+Four contracts, checked in order:
+
+1. **Off-path fidelity** — an untraced web level and an untraced
+   terasort-mini job must match the committed digests in
+   ``experiments/causality_baseline.json`` float-for-float, and the
+   *traced* runs of the same seeds must produce the very same results:
+   span contexts, per-node power counters and causal ids may never
+   move a simulation float.
+
+2. **Energy conservation** — on the traced runs, per metered node,
+   ``baseline + attributed + unattributed`` must equal the meter's
+   integrated joules within 0.1 % (it is exact by construction; the
+   bound catches summation regressions), and the attribution's metered
+   total must equal the PowerMeter's node integrals.
+
+3. **Critical-path decomposition** — re-deriving the Table 7 delay
+   decomposition from causal tree structure alone must agree with the
+   call-record measurement within 1 % on the committed seeded run.
+
+4. **Flame artifacts** — the latency flame graph (HTML) and collapsed
+   stacks of the traced web run land in ``--out-dir`` non-empty.
+
+Run:  PYTHONPATH=src python scripts/run_causality_smoke.py
+      PYTHONPATH=src python scripts/run_causality_smoke.py --update
+"""
+
+import os
+import sys
+from dataclasses import asdict
+
+import smokelib
+from smokelib import check
+
+smokelib.bootstrap()
+
+BASELINE = os.path.join(smokelib.EXPERIMENTS, "causality_baseline.json")
+
+SEED = 20160901
+WEB_ARGS = dict(concurrency=24, duration=3.0, warmup=1.0)
+JOB_KIND = "terasort-mini"
+JOB_SLAVES = 4
+
+
+def web_run(trace=None):
+    from repro.web import WebServiceDeployment
+    deployment = WebServiceDeployment("edison", "1/4", seed=SEED,
+                                      trace=trace)
+    level = deployment.run_level(WEB_ARGS["concurrency"],
+                                 duration=WEB_ARGS["duration"],
+                                 warmup=WEB_ARGS["warmup"])
+    return deployment, level
+
+
+def job_run(trace=None):
+    from repro.carbon.jobspec import CARBON_JOB_KINDS
+    from repro.mapreduce.runtime import JobRunner
+    spec, config = CARBON_JOB_KINDS[JOB_KIND]("edison")
+    runner = JobRunner("edison", JOB_SLAVES, config=config, seed=SEED,
+                       trace=trace)
+    report = runner.run(spec)
+    return runner, report
+
+
+def job_digest(report):
+    return {"seconds": report.seconds, "joules": report.joules,
+            "locality": report.locality_fraction}
+
+
+def check_conservation(label, log, cluster):
+    import repro.causality as causality
+    idle = {server.name: server.spec.power.min_w
+            for server in cluster.servers.values()}
+    attribution = causality.attribute_energy(log, idle_w=idle)
+    check(bool(attribution.nodes),
+          f"{label}: trace carries per-node power counters "
+          f"({len(attribution.nodes)} nodes)")
+    worst = 0.0
+    matched = True
+    for name, acct in sorted(attribution.nodes.items()):
+        worst = max(worst, acct.conservation_error_rel)
+        metered = cluster.meter.node_energy_joules(name)
+        if abs(acct.metered_j - metered) > 1e-9 * max(metered, 1.0):
+            matched = False
+    check(worst <= 1e-3,
+          f"{label}: per-node energy conserves "
+          f"(worst error {worst:.2e} <= 1e-3)")
+    check(matched,
+          f"{label}: attribution integrals equal the PowerMeter's")
+    attributed = sum(acct.attributed_j
+                     for acct in attribution.nodes.values())
+    check(attributed > 0.0,
+          f"{label}: marginal joules land on spans "
+          f"({attributed:.2f} J attributed)")
+    return attribution
+
+
+def main() -> int:
+    args = smokelib.make_parser(__doc__).parse_args()
+
+    import repro.causality as causality
+    from repro.trace import Tracer, delay_decomposition_from_trace
+    from repro.web.deployment import measure_delay_decomposition
+
+    print("off-path fidelity (tracing must be invisible):")
+    _, plain_level = web_run()
+    _, plain_job = job_run()
+    digests = {"web": asdict(plain_level), "job": job_digest(plain_job)}
+    smokelib.compare_or_update(
+        BASELINE, digests, args.update,
+        "untraced digests match the committed baseline")
+
+    web_tracer = Tracer()
+    web_deployment, traced_level = web_run(trace=web_tracer)
+    job_tracer = Tracer()
+    job_runner, traced_job = job_run(trace=job_tracer)
+    check(asdict(traced_level) == digests["web"],
+          "traced web level is bit-identical to the untraced run")
+    check(job_digest(traced_job) == digests["job"],
+          f"traced {JOB_KIND} job is bit-identical to the untraced run")
+
+    print("energy conservation (attribution sums close):")
+    check_conservation("web", web_tracer.log, web_deployment.cluster)
+    check_conservation(JOB_KIND, job_tracer.log, job_runner.cluster)
+
+    print("critical-path decomposition (Table 7 from tree structure):")
+    t7_tracer = Tracer()
+    measured = measure_delay_decomposition("edison", 480, duration=2.0,
+                                           warmup=0.5, trace=t7_tracer)
+    flat = delay_decomposition_from_trace(t7_tracer.log, after=0.5)
+    tree = causality.decomposition_from_critical_paths(t7_tracer.log,
+                                                       after=0.5)
+    check(tree.requests == flat.requests,
+          f"tree walk counts the same requests ({tree.requests})")
+    agree = True
+    for field, want in (("db_delay_s", measured.db_delay_s),
+                        ("cache_delay_s", measured.cache_delay_s),
+                        ("total_delay_s", measured.total_delay_s)):
+        got = getattr(tree, field)
+        if abs(got - want) > 0.01 * abs(want):
+            agree = False
+    check(agree,
+          "tree-derived db/cache/total agree with the call-record "
+          f"measurement within 1% (db {tree.db_delay_s * 1e3:.3f} vs "
+          f"{measured.db_delay_s * 1e3:.3f} ms)")
+
+    print("flame artifacts:")
+    forest = causality.build_forest(web_tracer.log)
+    stacks = causality.latency_stacks(forest)
+    html_path = smokelib.artifact_path(args.out_dir, "causality_flame.html")
+    causality.write_flame_html(html_path, stacks,
+                               title="latency flame: causality smoke "
+                                     "web run", unit="µs")
+    print(f"  artifact -> {html_path}")
+    collapsed_path = smokelib.artifact_path(args.out_dir,
+                                            "causality_flame.txt")
+    causality.write_collapsed(collapsed_path, stacks)
+    print(f"  artifact -> {collapsed_path}")
+    check(os.path.getsize(html_path) > 0
+          and os.path.getsize(collapsed_path) > 0 and bool(stacks),
+          f"flame outputs are non-empty ({len(stacks)} stacks)")
+
+    return smokelib.finish()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

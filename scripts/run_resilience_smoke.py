@@ -21,25 +21,18 @@ Run:  PYTHONPATH=src python scripts/run_resilience_smoke.py
       PYTHONPATH=src python scripts/run_resilience_smoke.py --update
 """
 
-import argparse
 import json
 import os
 import sys
 from dataclasses import asdict
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+import smokelib
+from smokelib import check
 
-REPO = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
-BASELINE = os.path.join(REPO, "experiments", "resilience_baseline.json")
-PLANS = os.path.join(REPO, "experiments", "gray_failures.json")
+smokelib.bootstrap()
 
-failures = []
-
-
-def check(ok: bool, what: str) -> None:
-    print(("  ok  " if ok else "  FAIL") + f"  {what}")
-    if not ok:
-        failures.append(what)
+BASELINE = os.path.join(smokelib.EXPERIMENTS, "resilience_baseline.json")
+PLANS = os.path.join(smokelib.EXPERIMENTS, "gray_failures.json")
 
 
 def off_path_digests(resilience):
@@ -61,13 +54,7 @@ def off_path_digests(resilience):
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--update", action="store_true",
-                        help="rewrite the committed off-path baseline "
-                             "instead of checking against it")
-    parser.add_argument("--out-dir", default=REPO, metavar="DIR",
-                        help="where the two tax-report JSON artifacts go")
-    args = parser.parse_args()
+    args = smokelib.make_parser(__doc__).parse_args()
 
     from repro.faults import FaultPlan
     from repro.resilience import (ResilienceConfig, job_resilience_experiment,
@@ -79,16 +66,9 @@ def main() -> int:
     check(plain == disabled,
           "resilience=None and ResilienceConfig.disabled() are "
           "bit-identical")
-    if args.update:
-        with open(BASELINE, "w", encoding="utf-8") as handle:
-            json.dump(plain, handle, indent=1)
-            handle.write("\n")
-        print(f"  baseline rewritten -> {BASELINE}")
-    else:
-        with open(BASELINE, encoding="utf-8") as handle:
-            committed = json.load(handle)
-        check(plain == committed,
-              "off-path digests match the committed baseline")
+    smokelib.compare_or_update(
+        BASELINE, plain, args.update,
+        "off-path digests match the committed baseline")
 
     print("gray-failure acceptance (committed plan, committed seed):")
     with open(PLANS, encoding="utf-8") as handle:
@@ -123,19 +103,11 @@ def main() -> int:
           f"the web report prices the hedge/shed tax "
           f"({web.mitigated.total_waste_joules:.1f} J)")
 
-    for name, report in (("resilience_web_report.json", web),
-                         ("resilience_job_report.json", job)):
-        path = os.path.join(args.out_dir, name)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(report.to_dict(), handle, indent=1)
-            handle.write("\n")
-        print(f"  artifact -> {path}")
-
-    if failures:
-        print(f"{len(failures)} check(s) failed")
-        return 1
-    print("all checks passed")
-    return 0
+    smokelib.write_artifact(args.out_dir, "resilience_web_report.json",
+                            web.to_dict())
+    smokelib.write_artifact(args.out_dir, "resilience_job_report.json",
+                            job.to_dict())
+    return smokelib.finish()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,85 @@
+"""Shared plumbing for the ``scripts/run_*_smoke.py`` harnesses.
+
+Every smoke script follows the same contract: run the committed seeded
+experiments, print one ``ok``/``FAIL`` line per check, compare fidelity
+digests float-for-float against a committed baseline JSON (rewritable
+with ``--update``), drop the report artifacts into ``--out-dir`` and
+exit non-zero when any check failed.  This module holds that shared
+shape so each script only states its experiment and its checks.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+REPO = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+SRC = os.path.join(REPO, "src")
+EXPERIMENTS = os.path.join(REPO, "experiments")
+
+_failures = []
+
+
+def bootstrap() -> None:
+    """Put ``src/`` on ``sys.path`` so ``import repro`` works anywhere."""
+    if SRC not in sys.path:
+        sys.path.insert(0, SRC)
+
+
+def check(ok: bool, what: str) -> None:
+    """Print one check line; remember failures for :func:`finish`."""
+    print(("  ok  " if ok else "  FAIL") + f"  {what}")
+    if not ok:
+        _failures.append(what)
+
+
+def finish() -> int:
+    """Summarise and return the process exit code."""
+    if _failures:
+        print(f"{len(_failures)} check(s) failed")
+        return 1
+    print("all checks passed")
+    return 0
+
+
+def make_parser(doc: str) -> argparse.ArgumentParser:
+    """The standard ``--update`` / ``--out-dir`` smoke argument parser."""
+    parser = argparse.ArgumentParser(description=doc)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed off-path baseline "
+                             "instead of checking against it")
+    parser.add_argument("--out-dir", default=REPO, metavar="DIR",
+                        help="where the report JSON artifacts go")
+    return parser
+
+
+def write_json(path: str, payload) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+
+def compare_or_update(baseline_path: str, digests, update: bool,
+                      what: str) -> None:
+    """Check ``digests`` against the committed baseline, or rewrite it."""
+    if update:
+        write_json(baseline_path, digests)
+        print(f"  baseline rewritten -> {baseline_path}")
+        return
+    with open(baseline_path, encoding="utf-8") as handle:
+        committed = json.load(handle)
+    check(digests == committed, what)
+
+
+def artifact_path(out_dir: str, name: str) -> str:
+    """Resolve an artifact path, creating ``out_dir`` on first use."""
+    os.makedirs(out_dir, exist_ok=True)
+    return os.path.join(out_dir, name)
+
+
+def write_artifact(out_dir: str, name: str, payload) -> str:
+    """Drop one report JSON into ``out_dir`` and announce it."""
+    path = artifact_path(out_dir, name)
+    write_json(path, payload)
+    print(f"  artifact -> {path}")
+    return path

@@ -29,7 +29,7 @@ from .microbench import run_dd, run_dhrystone, run_ioping, run_iperf, \
     run_ping, run_sysbench_cpu, run_sysbench_memory
 from .sim import Simulation
 from .tco import savings_fraction, table10
-from .trace import Tracer, write_chrome_trace
+from .trace import Tracer, write_chrome_trace, write_csv, write_jsonl
 from .web import WebServiceDeployment, WebWorkload, delay_distribution, \
     measure_delay_decomposition
 
@@ -61,30 +61,69 @@ def _check_parent_dir(flag: str, path: str) -> None:
 
 
 def _make_tracer(args):
-    """A Tracer when ``--trace`` or ``--metrics`` was given, else None.
+    """A Tracer when ``--trace``/``--metrics``/``--flame`` was given.
 
     ``--metrics`` rides the trace event stream (the tracer's registry
-    aggregates every emission), so either flag forces a tracer.
+    aggregates every emission) and ``--flame`` needs the causal spans,
+    so any of the three flags forces a tracer.
     """
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
-    if not trace_path and not metrics_path:
+    flame_path = getattr(args, "flame", None)
+    if not trace_path and not metrics_path and not flame_path:
         return None
     if trace_path:
         _check_parent_dir("--trace", trace_path)
     if metrics_path:
         _check_parent_dir("--metrics", metrics_path)
+    if flame_path:
+        _check_parent_dir("--flame", flame_path)
     return Tracer()
 
 
 def _export_trace(tracer, args) -> None:
     if tracer is None:
         return
-    if getattr(args, "trace", None):
-        write_chrome_trace(tracer.log, args.trace)
-        print(f"trace: {len(tracer.log)} events -> {args.trace} "
-              f"(open in https://ui.perfetto.dev)")
+    path = getattr(args, "trace", None)
+    if path:
+        # Extension picks the format: .jsonl/.csv round-trip through
+        # ``repro causality``; anything else is a Chrome/Perfetto trace.
+        if path.endswith(".jsonl"):
+            write_jsonl(tracer.log, path)
+            print(f"trace: {len(tracer.log)} events -> {path} "
+                  f"(analyse with: python -m repro causality {path})")
+        elif path.endswith(".csv"):
+            write_csv(tracer.log, path)
+            print(f"trace: {len(tracer.log)} events -> {path}")
+        else:
+            write_chrome_trace(tracer.log, path)
+            print(f"trace: {len(tracer.log)} events -> {path} "
+                  f"(open in https://ui.perfetto.dev)")
     _export_metrics(tracer, args)
+    _export_flame(tracer, args)
+
+
+def _write_flame(path: str, stacks, title: str, unit: str) -> None:
+    from .causality import write_collapsed, write_flame_html
+    if path.endswith((".html", ".htm")):
+        write_flame_html(path, stacks, title=title, unit=unit)
+    else:
+        write_collapsed(path, stacks)
+
+
+def _export_flame(tracer, args) -> None:
+    """Render ``--flame`` from the run's causal trees (latency flame)."""
+    path = getattr(args, "flame", None)
+    if tracer is None or not path:
+        return
+    from .causality import build_forest, latency_stacks
+    forest = build_forest(tracer.log)
+    stacks = latency_stacks(forest)
+    command = getattr(args, "command", None) or "run"
+    _write_flame(path, stacks, title=f"latency flame: {command} run",
+                 unit="µs")
+    print(f"flame: {len(forest.roots)} causal trees, "
+          f"{len(stacks)} stacks -> {path}")
 
 
 def _export_metrics(tracer, args) -> None:
@@ -348,6 +387,83 @@ def _cmd_carbon(args) -> int:
     return 0
 
 
+def _cmd_causality(args) -> int:
+    """Post-mortem a saved span trace: trees, critical paths, energy."""
+    from . import causality
+    from .trace import read_csv, read_jsonl
+    try:
+        if args.tracefile.endswith(".csv"):
+            log = read_csv(args.tracefile)
+        else:
+            log = read_jsonl(args.tracefile)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"repro: error: {args.tracefile}: {exc}")
+    forest = causality.build_forest(log)
+    if not forest.roots:
+        raise SystemExit("repro: error: no identified spans in "
+                         f"{args.tracefile} (record it with --trace "
+                         "out.jsonl on a web/job run)")
+    print(f"{len(log)} events, {len(forest.by_id)} spans, "
+          f"{len(forest.trees())} causal trees "
+          f"({len(forest.orphans)} orphaned subtrees)")
+    aborted = [n for n in forest.walk() if n.aborted is not None]
+    if aborted:
+        kinds = {}
+        for n in aborted:
+            kinds[n.aborted] = kinds.get(n.aborted, 0) + 1
+        print("aborted spans: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(kinds.items())))
+    roots = [r for r in forest.roots if r.parent_id == 0]
+    if roots:
+        slowest = max(roots, key=lambda r: r.dur)
+        path = causality.critical_path(slowest)
+        waits = path.by_kind()
+        print(f"slowest tree: {slowest.name} trace={slowest.trace_id} "
+              f"({slowest.dur * 1000:.2f} ms; "
+              f"self {waits.get('self', 0.0) * 1000:.2f} ms, "
+              f"blocked {waits.get('blocked', 0.0) * 1000:.2f} ms)")
+        for seg in path.longest(args.top):
+            print(f"  {seg.duration * 1000:8.3f} ms  {seg.kind:7s} "
+                  f"{seg.name}" + (f" @ {seg.node}" if seg.node else ""))
+    try:
+        decomposition = causality.decomposition_from_critical_paths(
+            log, after=args.after, forest=None)
+    except ValueError:
+        decomposition = None
+    if decomposition is not None:
+        print(f"decomposition ({decomposition.requests} requests): "
+              f"db {decomposition.db_delay_s * 1000:.2f} ms, "
+              f"cache {decomposition.cache_delay_s * 1000:.2f} ms, "
+              f"total {decomposition.total_delay_s * 1000:.2f} ms, "
+              f"connect {decomposition.connect_delay_s * 1000:.2f} ms")
+    attribution = causality.attribute_energy(log, forest=forest)
+    by_span = {}
+    for name, acct in sorted(attribution.nodes.items()):
+        print(f"energy {name}: {acct.metered_j:.1f} J metered = "
+              f"{acct.baseline_j:.1f} idle + {acct.attributed_j:.1f} "
+              f"attributed ({len(acct.by_span)} spans) + "
+              f"{acct.unattributed_j:.1f} unattributed")
+        for sid, joules in acct.by_span.items():
+            by_span[sid] = by_span.get(sid, 0.0) + joules
+    if args.flame:
+        _check_parent_dir("--flame", args.flame)
+        stacks = causality.latency_stacks(forest)
+        _write_flame(args.flame, stacks,
+                     title=f"latency flame: {args.tracefile}", unit="µs")
+        print(f"latency flame -> {args.flame}")
+    if args.energy_flame:
+        _check_parent_dir("--energy-flame", args.energy_flame)
+        if not by_span:
+            raise SystemExit("repro: error: --energy-flame needs a trace "
+                             "with power counters (run with a metered "
+                             "cluster)")
+        stacks = causality.energy_stacks(forest, by_span)
+        _write_flame(args.energy_flame, stacks,
+                     title=f"energy flame: {args.tracefile}", unit="µJ")
+        print(f"energy flame -> {args.energy_flame}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .telemetry import (load_bundle, summary_lines, write_dashboard,
                             write_prometheus)
@@ -512,8 +628,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="image-query fraction (0-1)")
     web.add_argument("--hit-ratio", type=float, default=0.93)
     web.add_argument("--trace", metavar="PATH",
-                     help="write a Chrome/Perfetto trace of the run "
-                          "to PATH")
+                     help="write a trace of the run to PATH (.jsonl/.csv "
+                          "round-trip through 'repro causality'; any "
+                          "other extension is Chrome/Perfetto JSON)")
+    web.add_argument("--flame", metavar="PATH",
+                     help="write a latency flame graph of the run's "
+                          "causal trees (.html for the self-contained "
+                          "SVG page, anything else for collapsed stacks)")
     web.add_argument("--resilience", action="store_true",
                      help="enable the web-tier mitigations (circuit "
                           "breakers, retries, hedging, load shedding) "
@@ -530,8 +651,13 @@ def build_parser() -> argparse.ArgumentParser:
                      default="edison")
     job.add_argument("--slaves", type=int, default=35)
     job.add_argument("--trace", metavar="PATH",
-                     help="write a Chrome/Perfetto trace of the run "
-                          "to PATH")
+                     help="write a trace of the run to PATH (.jsonl/.csv "
+                          "round-trip through 'repro causality'; any "
+                          "other extension is Chrome/Perfetto JSON)")
+    job.add_argument("--flame", metavar="PATH",
+                     help="write a latency flame graph of the job's "
+                          "causal trees (.html for the self-contained "
+                          "SVG page, anything else for collapsed stacks)")
     job.add_argument("--resilience", action="store_true",
                      help="enable LATE speculative execution and retry "
                           "backoff with their stock configuration")
@@ -655,6 +781,28 @@ def build_parser() -> argparse.ArgumentParser:
     hist.add_argument("--rate", type=float, default=6000.0)
     hist.add_argument("--duration", type=float, default=6.0)
     hist.set_defaults(func=_cmd_histogram)
+
+    causality = sub.add_parser(
+        "causality",
+        help="post-mortem a saved span trace: causal trees, critical "
+             "paths, per-span energy attribution and flame graphs")
+    causality.add_argument("tracefile", metavar="TRACE",
+                           help="span trace written by --trace out.jsonl "
+                                "(or .csv) on a web/job run")
+    causality.add_argument("--after", type=float, default=0.0,
+                           help="ignore requests starting before this "
+                                "time (warmup cut, default: %(default)s)")
+    causality.add_argument("--top", type=int, default=5,
+                           help="critical-path segments to print "
+                                "(default: %(default)s)")
+    causality.add_argument("--flame", metavar="PATH",
+                           help="write the latency flame graph to PATH "
+                                "(.html or collapsed stacks)")
+    causality.add_argument("--energy-flame", metavar="PATH",
+                           help="write the attributed-energy flame graph "
+                                "to PATH (needs power counters in the "
+                                "trace)")
+    causality.set_defaults(func=_cmd_causality)
 
     report = sub.add_parser(
         "report", help="summarise a saved telemetry bundle")

@@ -35,6 +35,13 @@ class PowerMeter:
             key: TimeSeries(f"{name}.{key}")
             for key in ("cpu", "mem", "disk", "net")
         }
+        #: Per-server power traces, recorded at the same sample instants
+        #: as the summed series — the ground truth per-node energy that
+        #: :mod:`repro.causality` attributes across resident spans.
+        self.per_node: Dict[str, TimeSeries] = {
+            server.name: TimeSeries(f"{name}.{server.name}.power_w")
+            for server in self.servers
+        }
         self._process = None
 
     def start(self, until: Optional[float] = None) -> None:
@@ -53,21 +60,27 @@ class PowerMeter:
         totals = {key: 0.0 for key in self.per_component}
         watts = 0.0
         faults = self.sim.faults
+        now = self.sim.now
+        trace = self.sim.trace
         for server in self.servers:
             utilization = server.utilization_window()
             if faults is not None:
                 # Crashed nodes draw idle power, unpowered ones nothing
                 # (identical to the plain formula while the node is up).
-                watts += faults.node_watts(server, utilization)
+                node_w = faults.node_watts(server, utilization)
             else:
-                watts += server.spec.power.power(utilization)
+                node_w = server.spec.power.power(utilization)
+            watts += node_w
+            self.per_node[server.name].record(now, node_w)
+            if trace is not None:
+                trace.counter(f"{self.name}.node_power_w", node_w,
+                              category="power", node=server.name)
             for key in totals:
                 totals[key] += utilization.get(key, 0.0)
-        self.series.record(self.sim.now, watts)
+        self.series.record(now, watts)
         n = len(self.servers)
         for key, series in self.per_component.items():
-            series.record(self.sim.now, totals[key] / n)
-        trace = self.sim.trace
+            series.record(now, totals[key] / n)
         if trace is not None:
             trace.counter(self.series.name, watts, category="power")
             for key in self.per_component:
@@ -78,6 +91,10 @@ class PowerMeter:
     def energy_joules(self) -> float:
         """Energy recorded so far (trapezoidal integral of the trace)."""
         return self.series.integrate()
+
+    def node_energy_joules(self, name: str) -> float:
+        """Energy recorded so far for one server (trapezoidal integral)."""
+        return self.per_node[name].integrate()
 
     def mean_power(self) -> float:
         """Average of the power samples taken so far."""

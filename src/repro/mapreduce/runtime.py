@@ -234,6 +234,9 @@ class JobRunner:
         #: (spec, state) of the run in flight — consulted by the
         #: fault-injector listener for node-loss recovery.
         self._active = None
+        #: Root SpanContext of the running job's causal tree (traced
+        #: runs only; set by :meth:`run`).
+        self._job_ctx = None
         # Resilience is strictly opt-in: with it off (or a disabled
         # config), nothing below exists — no extra RNG stream, no
         # ledger, no monitor process — so runs stay bit-identical.
@@ -289,6 +292,11 @@ class JobRunner:
         """
         timeline = JobTimeline()
         state = _JobState(self.sim, spec, self.config.slowstart)
+        trace = self.sim.trace
+        job_start = self.sim.now
+        # Root of the job's causal tree: every task attempt, HDFS read
+        # and shuffle leg below hangs off this context.
+        self._job_ctx = trace.root_context() if trace is not None else None
         if self.sim.faults is not None:
             # Wire failure detection/recovery: node loss blacklists the
             # NodeManager, reclaims its containers and re-executes the
@@ -312,6 +320,10 @@ class JobRunner:
         self.meter.sample()                      # close the energy integral
         timeline.power_w.record(end, self.meter.series.values[-1])
         joules = self.meter.series.integrate()
+        if trace is not None:
+            trace.complete("job", job_start, category="task",
+                           node="master", ctx=self._job_ctx,
+                           job=spec.name)
         return JobReport(
             job=spec.name, platform=self.platform, slaves=self.slaves,
             seconds=end, joules=joules,
@@ -562,6 +574,9 @@ class JobRunner:
                     cell.hdfs_file = hdfs_file
             attempt_start = self.sim.now
             process = self.sim.active_process
+            trace = self.sim.trace
+            attempt_ctx = trace.child_context(self._job_ctx) \
+                if trace is not None else None
             if faults is not None:
                 faults.bind(grant.node, process)
             if cell is not None:
@@ -570,11 +585,11 @@ class JobRunner:
                 cell.in_attempt = True
             try:
                 out_bytes = yield from self._map_attempt(
-                    spec, grant.node, hdfs_file, factor)
+                    spec, grant.node, hdfs_file, factor, ctx=attempt_ctx)
             except TaskFailed:
                 state.failed_attempts += 1
                 self._trace_attempt("map", grant.node, attempt_start,
-                                    launches - 1, ok=False)
+                                    launches - 1, ok=False, ctx=attempt_ctx)
                 failures += 1
                 if failures >= MAX_TASK_ATTEMPTS:
                     raise JobFailed(
@@ -590,14 +605,15 @@ class JobRunner:
                                              self.sim.now - attempt_start)
                     self._trace_attempt("map", grant.node, attempt_start,
                                         launches - 1, ok=False, killed=True,
-                                        lost_race=True)
+                                        lost_race=True, ctx=attempt_ctx)
                     win_node, out_bytes = exc.cause.node, exc.cause.out_bytes
                     break
                 # The node died under the attempt; the retry allocates
                 # on a surviving node and is not charged as a failure.
                 state.failed_attempts += 1
                 self._trace_attempt("map", grant.node, attempt_start,
-                                    launches - 1, ok=False, killed=True)
+                                    launches - 1, ok=False, killed=True,
+                                    ctx=attempt_ctx)
                 continue
             except BlockUnavailable as exc:
                 # Every replica of an input block is gone: no retry can
@@ -611,7 +627,8 @@ class JobRunner:
                     faults.unbind(grant.node, process)
                 self.yarn.release(grant)
             self._trace_attempt("map", grant.node, attempt_start,
-                                launches - 1, ok=True, out_bytes=out_bytes)
+                                launches - 1, ok=True, out_bytes=out_bytes,
+                                ctx=attempt_ctx)
             if cell is not None:
                 cell.board.durations.append(self.sim.now - attempt_start)
             win_node = grant.node
@@ -632,13 +649,25 @@ class JobRunner:
         return
 
     def _map_attempt(self, spec: JobSpec, node: str, hdfs_file,
-                     factor: float):
-        """One attempt of one map task on ``node``; may raise TaskFailed."""
+                     factor: float, ctx=None):
+        """One attempt of one map task on ``node``; may raise TaskFailed.
+
+        ``ctx`` is the attempt's :class:`~repro.trace.SpanContext`; the
+        HDFS input read is emitted as its child span.
+        """
         yield from self._task_overhead(node, factor)
         input_bytes = hdfs_file.size_bytes if hdfs_file else 0
         if hdfs_file is not None:
+            read_start = self.sim.now
             for block in hdfs_file.blocks:
                 yield from self.hdfs.read_block(node, block)
+            trace = self.sim.trace
+            if trace is not None:
+                trace.complete("hdfs-read", read_start, category="task",
+                               node=node,
+                               ctx=trace.child_context(ctx)
+                               if ctx is not None else None,
+                               nbytes=input_bytes)
         if (spec.map_failure_rate > 0
                 and self._fault_rng.random() < spec.map_failure_rate):
             # The attempt dies after consuming real resources.
@@ -783,17 +812,20 @@ class JobRunner:
             return
         start = self.sim.now
         process = self.sim.active_process
+        trace = self.sim.trace
+        attempt_ctx = trace.child_context(self._job_ctx) \
+            if trace is not None else None
         if faults is not None:
             faults.bind(grant.node, process)
         try:
             out_bytes = yield from self._map_attempt(
-                spec, grant.node, cell.hdfs_file, factor)
+                spec, grant.node, cell.hdfs_file, factor, ctx=attempt_ctx)
         except (TaskFailed, Interrupt, BlockUnavailable):
             # Killed by the winner, lost its node, or died on its own:
             # either way the partial work is pure overhead.
             self._charge_speculation(grant.node, self.sim.now - start)
             self._trace_attempt("map", grant.node, start, 0, ok=False,
-                                speculative=True)
+                                speculative=True, ctx=attempt_ctx)
             return
         finally:
             if faults is not None:
@@ -803,14 +835,15 @@ class JobRunner:
             # Photo finish, original side already committed: duplicate.
             self._charge_speculation(grant.node, self.sim.now - start)
             self._trace_attempt("map", grant.node, start, 0, ok=False,
-                                speculative=True)
+                                speculative=True, ctx=attempt_ctx)
             return
         cell.board.durations.append(self.sim.now - start)
         cell.won = True
         cell.winner = (grant.node, out_bytes)
         ledger.count("speculative_wins")
         self._trace_attempt("map", grant.node, start, 0, ok=True,
-                            speculative=True, out_bytes=out_bytes)
+                            speculative=True, out_bytes=out_bytes,
+                            ctx=attempt_ctx)
         if cell.in_attempt:
             cell.primary.interrupt(SpeculationWin(grant.node, out_bytes))
 
@@ -833,15 +866,18 @@ class JobRunner:
                 continue
             attempt_start = self.sim.now
             process = self.sim.active_process
+            trace = self.sim.trace
+            attempt_ctx = trace.child_context(self._job_ctx) \
+                if trace is not None else None
             if faults is not None:
                 faults.bind(grant.node, process)
             try:
                 yield from self._reduce_attempt(spec, state, grant.node,
-                                                factor)
+                                                factor, ctx=attempt_ctx)
             except TaskFailed:
                 state.failed_attempts += 1
                 self._trace_attempt("reduce", grant.node, attempt_start,
-                                    launches - 1, ok=False)
+                                    launches - 1, ok=False, ctx=attempt_ctx)
                 failures += 1
                 if failures >= MAX_TASK_ATTEMPTS:
                     raise JobFailed(
@@ -854,7 +890,8 @@ class JobRunner:
                 # included) re-runs on a surviving node, uncharged.
                 state.failed_attempts += 1
                 self._trace_attempt("reduce", grant.node, attempt_start,
-                                    launches - 1, ok=False, killed=True)
+                                    launches - 1, ok=False, killed=True,
+                                    ctx=attempt_ctx)
                 continue
             except BlockUnavailable as exc:
                 raise JobFailed(f"{spec.name}: {exc}") from exc
@@ -863,23 +900,30 @@ class JobRunner:
                     faults.unbind(grant.node, process)
                 self.yarn.release(grant)
             self._trace_attempt("reduce", grant.node, attempt_start,
-                                launches - 1, ok=True)
+                                launches - 1, ok=True, ctx=attempt_ctx)
             state.reduces_done += 1
             return
 
     def _reduce_attempt(self, spec: JobSpec, state: "_JobState",
-                        node: str, factor: float):
-        """One attempt of one reduce task on ``node``."""
+                        node: str, factor: float, ctx=None):
+        """One attempt of one reduce task on ``node``.
+
+        ``ctx`` is the attempt's :class:`~repro.trace.SpanContext`; the
+        shuffle leg is emitted as its child span.
+        """
         yield from self._task_overhead(node, factor)
         # Shuffle can begin once slowstart fired (we are running), but
         # the tail of map output only exists when all maps are done.
         yield state.all_maps_done
         shuffle_start = self.sim.now
         input_bytes = yield from self._shuffle(spec, state, node)
-        if self.sim.trace is not None:
-            self.sim.trace.complete("shuffle", shuffle_start,
-                                    category="task", node=node,
-                                    nbytes=input_bytes)
+        trace = self.sim.trace
+        if trace is not None:
+            trace.complete("shuffle", shuffle_start,
+                           category="task", node=node,
+                           ctx=trace.child_context(ctx)
+                           if ctx is not None else None,
+                           nbytes=input_bytes)
         if (spec.reduce_failure_rate > 0
                 and self._fault_rng.random() < spec.reduce_failure_rate):
             # The attempt dies after shuffling real bytes — the costly
@@ -902,11 +946,11 @@ class JobRunner:
         yield from self.yarn.master_commit()
 
     def _trace_attempt(self, kind: str, node: str, start: float,
-                       attempt: int, ok: bool, **attrs) -> None:
+                       attempt: int, ok: bool, ctx=None, **attrs) -> None:
         """Emit one task-attempt lifecycle span (no-op when untraced)."""
         if self.sim.trace is not None:
             self.sim.trace.complete(f"{kind}-attempt", start,
-                                    category="task", node=node,
+                                    category="task", node=node, ctx=ctx,
                                     attempt=attempt, ok=ok, **attrs)
 
     def _shuffle(self, spec: JobSpec, state: "_JobState",

@@ -73,12 +73,18 @@ class TcpListener:
         """Would a fresh SYN be dropped right now?"""
         return self.slots.queue_length >= self.syn_backlog
 
-    def connect(self, rtt: float, max_retries: Optional[int] = None):
+    def connect(self, rtt: float, max_retries: Optional[int] = None,
+                ctx=None):
         """Process generator: establish a connection to this listener.
 
         Returns ``(Request, ConnectionStats)``; the request must be
         released (``listener.close(request)``) when the connection ends.
         Raises :class:`ConnectTimeout` after the retry budget.
+
+        ``ctx`` is an optional :class:`~repro.trace.SpanContext`: when
+        given and tracing is on, the establishment is emitted as a
+        ``connect`` child span (category ``"net"``), so handshakes show
+        up in the request's causal tree.
         """
         stats = ConnectionStats()
         start = self.sim.now
@@ -100,10 +106,23 @@ class TcpListener:
                 yield rtt  # SYN -> SYN/ACK -> ACK
                 self.accepted += 1
                 stats.connect_delay = self.sim.now - start
+                trace = self.sim.trace
+                if trace is not None and ctx is not None:
+                    trace.complete("connect", start, category="net",
+                                   node=self.name,
+                                   ctx=trace.child_context(ctx),
+                                   syn_retries=stats.syn_retries)
                 return request, stats
             self.syn_drops += 1
             if attempt >= len(retries):
                 stats.connect_delay = self.sim.now - start
+                trace = self.sim.trace
+                if trace is not None and ctx is not None:
+                    trace.complete("connect", start, category="net",
+                                   node=self.name,
+                                   ctx=trace.child_context(ctx),
+                                   syn_retries=attempt,
+                                   aborted="connect-timeout")
                 raise ConnectTimeout(
                     f"{self.name}: SYN dropped {attempt + 1} times")
             yield retries[attempt]

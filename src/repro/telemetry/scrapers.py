@@ -96,10 +96,15 @@ class NodeAgent:
         self._record_index = len(web.records)
         delays = []
         histogram = self.telemetry.metrics.histogram("web.delay_s")
+        exemplars = self.telemetry.exemplars
         for record in fresh:
             if record.ok:
                 delays.append(record.total_s)
                 histogram.observe(record.total_s)
+                if exemplars is not None and record.trace_id:
+                    # Deterministic worst-per-bucket keep: no RNG, so
+                    # exemplar collection can never perturb the run.
+                    exemplars.observe(record.total_s, record.trace_id)
             elif not record.shed:
                 # Shed 503s are deliberate backpressure the resilient
                 # client retries elsewhere; they show up in
@@ -163,12 +168,21 @@ class Telemetry:
     def __init__(self, interval: float = DEFAULT_INTERVAL, rules=(),
                  slo: Optional[SloSpec] = None,
                  retention_samples: Optional[int] = None,
-                 eval_interval: Optional[float] = None):
+                 eval_interval: Optional[float] = None,
+                 exemplars: bool = False):
         if interval <= 0:
             raise ValueError(f"interval must be > 0, got {interval}")
         self.interval = interval
         self.db = TimeSeriesDB(retention_samples=retention_samples)
         self.metrics = MetricsRegistry()
+        # Opt-in exemplar store: the latency histogram keeps the worst
+        # trace id per bucket so SLO lines link to causal trees.  The
+        # run must be traced for records to carry trace ids at all.
+        if exemplars:
+            from ..causality.exemplars import ExemplarStore
+            self.exemplars: Optional["ExemplarStore"] = ExemplarStore()
+        else:
+            self.exemplars = None
         self.slo = slo if slo is not None else SloSpec()
         rules = list(rules)
         self.alerts = AlertManager(
@@ -251,10 +265,16 @@ class Telemetry:
                 errors += int(series.values[-1])
         histogram = self.metrics.histogram("web.delay_s")
         p95 = histogram.percentile(95.0) if histogram.count else None
+        worst = None
+        if self.exemplars is not None:
+            exemplar = self.exemplars.worst()
+            if exemplar is not None:
+                worst = exemplar.to_dict()
         return SloReport(spec=self.slo, requests=requests, errors=errors,
                          p95_s=p95,
                          client_failures=(self.client_timeouts
-                                          + self.client_give_ups))
+                                          + self.client_give_ups),
+                         worst_exemplar=worst)
 
     def detection_report(self) -> DetectionReport:
         """Alert firings scored against the injector's ground truth."""
@@ -272,7 +292,7 @@ class Telemetry:
             merged.update(meta)
         slo = self.slo_report()
         detection = self.detection_report()
-        return {
+        bundle = {
             "meta": merged,
             "series": self.db.to_dicts(),
             "alerts": [a.to_dict() for a in self.alerts.history],
@@ -280,6 +300,9 @@ class Telemetry:
             "detection": detection.to_dict(),
             "metrics": self.metrics.snapshot(),
         }
+        if self.exemplars is not None:
+            bundle["exemplars"] = self.exemplars.to_dict()
+        return bundle
 
     def save(self, path: str, meta: Optional[Dict] = None) -> None:
         """Write the telemetry bundle to ``path`` as JSON."""

@@ -48,6 +48,11 @@ class SloReport:
     completes "successfully" on the server after the user left), yet
     the user experienced an outage — so each one counts as one more
     request *and* one more error in every availability figure below.
+
+    ``worst_exemplar`` (when the run collected exemplars) is the
+    slowest trace-linked observation — a ``{value, trace_id, bucket}``
+    dict pointing at the causal tree to pull up when the latency line
+    reads MISSED.
     """
 
     spec: SloSpec
@@ -55,6 +60,7 @@ class SloReport:
     errors: int
     p95_s: Optional[float]
     client_failures: int = 0
+    worst_exemplar: Optional[Dict] = None
 
     @property
     def total_requests(self) -> int:
@@ -112,6 +118,7 @@ class SloReport:
             "budget_consumed": self.budget_consumed,
             "availability_met": self.availability_met,
             "latency_met": self.latency_met,
+            "worst_exemplar": self.worst_exemplar,
         }
 
     @classmethod
@@ -121,7 +128,8 @@ class SloReport:
             latency_p95_s=data["latency_p95_target_s"]),
             requests=data["requests"], errors=data["errors"],
             p95_s=data["p95_s"],
-            client_failures=data.get("client_failures", 0))
+            client_failures=data.get("client_failures", 0),
+            worst_exemplar=data.get("worst_exemplar"))
 
     def lines(self) -> List[str]:
         head = f"SLO report ({self.requests} requests, {self.errors} errors"
@@ -147,6 +155,10 @@ class SloReport:
             out.append(f"  latency p95: {self.p95_s * 1000:.1f} ms "
                        f"(target {self.spec.latency_p95_s * 1000:.0f} ms) "
                        f"-- {verdict}")
+        if self.worst_exemplar is not None:
+            ex = self.worst_exemplar
+            out.append(f"  worst exemplar: {ex['value'] * 1000:.1f} ms "
+                       f"-> trace {ex['trace_id']}")
         return out
 
 

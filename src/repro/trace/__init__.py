@@ -25,6 +25,7 @@ allocation, identical simulation results.
 
 from .analysis import (TraceDecomposition, delay_decomposition_from_trace,
                        span_time_by_name)
+from .context import SpanContext
 from .events import (PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN, TraceEvent,
                      TraceLog)
 from .export import read_csv, read_jsonl, to_chrome_trace, \
@@ -34,8 +35,8 @@ from .spans import Tracer
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "PHASE_COUNTER",
-    "PHASE_INSTANT", "PHASE_SPAN", "TraceDecomposition", "TraceEvent",
-    "TraceLog", "Tracer", "delay_decomposition_from_trace", "read_csv",
-    "read_jsonl", "span_time_by_name", "to_chrome_trace",
+    "PHASE_INSTANT", "PHASE_SPAN", "SpanContext", "TraceDecomposition",
+    "TraceEvent", "TraceLog", "Tracer", "delay_decomposition_from_trace",
+    "read_csv", "read_jsonl", "span_time_by_name", "to_chrome_trace",
     "write_chrome_trace", "write_csv", "write_jsonl",
 ]

@@ -47,6 +47,11 @@ class TraceEvent:
         :data:`PHASE_COUNTER`.
     dur:
         Span duration in seconds (0 for non-span events).
+    trace_id / span_id / parent_id:
+        Causal identity (:class:`~repro.trace.SpanContext`); 0 means the
+        emitter carried no context (legacy flat events).  ``trace_id``
+        names the whole tree, ``parent_id`` is the causing span's
+        ``span_id`` (0 for roots).
     """
 
     ts: float
@@ -56,12 +61,17 @@ class TraceEvent:
     attrs: Dict[str, Any] = field(default_factory=dict)
     phase: str = PHASE_INSTANT
     dur: float = 0.0
+    trace_id: int = 0
+    span_id: int = 0
+    parent_id: int = 0
 
     def __post_init__(self):
         if self.phase not in _VALID_PHASES:
             raise ValueError(f"unknown phase {self.phase!r}")
         if self.ts < 0 or self.dur < 0:
             raise ValueError("ts and dur must be >= 0")
+        if self.trace_id < 0 or self.span_id < 0 or self.parent_id < 0:
+            raise ValueError("span identity ids must be >= 0")
 
     @property
     def end(self) -> float:

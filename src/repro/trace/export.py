@@ -54,6 +54,13 @@ def to_chrome_trace(log: TraceLog) -> Dict:
             entry["dur"] = event.dur * _US
             if event.attrs:
                 entry["args"] = dict(event.attrs)
+            if event.span_id:
+                # Causal identity rides along in args so Perfetto shows
+                # it and offline tooling can rebuild the span forest.
+                args = entry.setdefault("args", {})
+                args["trace_id"] = event.trace_id
+                args["span_id"] = event.span_id
+                args["parent_id"] = event.parent_id
         elif event.phase == PHASE_COUNTER:
             # Counter tracks plot their args values over time.
             entry["args"] = {event.name: event.attrs.get("value", 0.0)}
@@ -87,22 +94,34 @@ def write_jsonl(log: TraceLog, path: str) -> None:
             handle.write(json.dumps(_event_dict(event)) + "\n")
 
 
+#: CSV column order; ``_CSV_LEGACY_HEADER`` (pre-span-identity files) is
+#: still accepted by :func:`read_csv`, loading with all ids 0.
+_CSV_HEADER = ["ts", "dur", "phase", "category", "name", "node", "attrs",
+               "trace_id", "span_id", "parent_id"]
+_CSV_LEGACY_HEADER = _CSV_HEADER[:7]
+
+
 def write_csv(log: TraceLog, path: str) -> None:
     """Write ``log`` to ``path`` as CSV (attrs JSON-encoded in one column)."""
     with open(path, "w", encoding="utf-8", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(("ts", "dur", "phase", "category", "name", "node",
-                         "attrs"))
+        writer.writerow(_CSV_HEADER)
         for event in log:
             writer.writerow((repr(event.ts), repr(event.dur), event.phase,
                              event.category, event.name, event.node,
-                             json.dumps(event.attrs)))
+                             json.dumps(event.attrs), event.trace_id,
+                             event.span_id, event.parent_id))
 
 
 def _event_dict(event: TraceEvent) -> Dict:
-    return {"ts": event.ts, "dur": event.dur, "phase": event.phase,
+    data = {"ts": event.ts, "dur": event.dur, "phase": event.phase,
             "category": event.category, "name": event.name,
             "node": event.node, "attrs": dict(event.attrs)}
+    if event.span_id:
+        data["trace_id"] = event.trace_id
+        data["span_id"] = event.span_id
+        data["parent_id"] = event.parent_id
+    return data
 
 
 def read_jsonl(path: str) -> TraceLog:
@@ -117,7 +136,10 @@ def read_jsonl(path: str) -> TraceLog:
             log.append(TraceEvent(
                 ts=data["ts"], dur=data["dur"], phase=data["phase"],
                 category=data["category"], name=data["name"],
-                node=data["node"], attrs=dict(data["attrs"])))
+                node=data["node"], attrs=dict(data["attrs"]),
+                trace_id=data.get("trace_id", 0),
+                span_id=data.get("span_id", 0),
+                parent_id=data.get("parent_id", 0)))
     return log
 
 
@@ -127,14 +149,18 @@ def read_csv(path: str) -> TraceLog:
     with open(path, "r", encoding="utf-8", newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
-        if header != ["ts", "dur", "phase", "category", "name", "node",
-                      "attrs"]:
+        if header not in (_CSV_HEADER, _CSV_LEGACY_HEADER):
             raise ValueError(f"{path}: not a repro trace CSV "
                              f"(header {header!r})")
+        legacy = header == _CSV_LEGACY_HEADER
         for row in reader:
-            ts, dur, phase, category, name, node, attrs = row
+            ts, dur, phase, category, name, node, attrs = row[:7]
+            trace_id, span_id, parent_id = \
+                (0, 0, 0) if legacy else (int(row[7]), int(row[8]),
+                                          int(row[9]))
             log.append(TraceEvent(
                 ts=float(ts), dur=float(dur), phase=phase,
                 category=category, name=name, node=node,
-                attrs=json.loads(attrs)))
+                attrs=json.loads(attrs), trace_id=trace_id,
+                span_id=span_id, parent_id=parent_id))
     return log

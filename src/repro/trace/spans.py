@@ -23,6 +23,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Dict, Iterable, Optional
 
+from .context import SpanContext
 from .events import (PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN, TraceEvent,
                      TraceLog)
 from .metrics import MetricsRegistry
@@ -79,6 +80,20 @@ class Tracer:
         self._next_id += 1
         return self._next_id
 
+    # -- causal identity -------------------------------------------------
+
+    def root_context(self) -> SpanContext:
+        """Mint the identity of a new causal tree (trace_id == span_id)."""
+        span_id = self.next_id()
+        return SpanContext(trace_id=span_id, span_id=span_id, parent_id=0)
+
+    def child_context(self, parent: Optional[SpanContext]) -> SpanContext:
+        """Mint a child identity under ``parent`` (a root when None)."""
+        if parent is None:
+            return self.root_context()
+        return SpanContext(trace_id=parent.trace_id, span_id=self.next_id(),
+                           parent_id=parent.span_id)
+
     def enabled_for(self, category: str) -> bool:
         """True when the log would keep events of ``category``."""
         return self.log.accepts(category)
@@ -103,8 +118,14 @@ class Tracer:
             attrs=attrs, phase=PHASE_COUNTER))
 
     def complete(self, name: str, start: float, category: str = "span",
-                 node: str = "", **attrs: Any) -> None:
-        """Emit a span that began at ``start`` and ends now."""
+                 node: str = "", ctx: Optional[SpanContext] = None,
+                 **attrs: Any) -> None:
+        """Emit a span that began at ``start`` and ends now.
+
+        ``ctx`` stamps the span's causal identity
+        (:class:`SpanContext`); omitted, the span stays a flat legacy
+        record with all ids 0.
+        """
         now = self.now
         if start > now:
             raise ValueError(f"span start {start} lies in the future "
@@ -113,7 +134,10 @@ class Tracer:
         self.metrics.histogram(f"{name}.duration_s").observe(now - start)
         self.log.append(TraceEvent(
             ts=start, category=category, name=name, node=node,
-            attrs=attrs, phase=PHASE_SPAN, dur=now - start))
+            attrs=attrs, phase=PHASE_SPAN, dur=now - start,
+            trace_id=ctx.trace_id if ctx is not None else 0,
+            span_id=ctx.span_id if ctx is not None else 0,
+            parent_id=ctx.parent_id if ctx is not None else 0))
 
     @contextmanager
     def span(self, name: str, category: str = "span", node: str = "",
@@ -128,23 +152,38 @@ class Tracer:
         Nesting depth and parentage are tracked per simulated process
         (keyed on the simulation's active process), so interleaved
         processes keep independent stacks.  Yields the span id.
+
+        The emitted span carries a full :class:`SpanContext` (nested
+        spans share the outermost span's trace_id).  When the body is
+        torn down by a kernel interrupt or an abandoned generator, the
+        span still closes — tagged ``aborted`` with the interrupt's
+        fault kind — so critical-path walks never see dangling spans.
         """
         start = self.now
         key = 0
         if self._sim is not None and self._sim.active_process is not None:
             key = id(self._sim.active_process)
         stack = self._stacks.setdefault(key, [])
-        span_id = self.next_id()
-        parent = stack[-1] if stack else 0
-        stack.append(span_id)
+        parent: Optional[SpanContext] = stack[-1] if stack else None
+        ctx = self.child_context(parent)
+        stack.append(ctx)
         try:
-            yield span_id
+            yield ctx.span_id
+        except BaseException as exc:
+            cause = getattr(exc, "cause", None)
+            if cause is not None:
+                attrs["aborted"] = getattr(cause, "kind", None) \
+                    or type(cause).__name__
+            elif isinstance(exc, GeneratorExit):
+                attrs["aborted"] = "abandoned"
+            raise
         finally:
             stack.pop()
             if not stack:
                 self._stacks.pop(key, None)
-            attrs["span_id"] = span_id
+            attrs["span_id"] = ctx.span_id
             attrs["depth"] = len(stack)
-            if parent:
-                attrs["parent"] = parent
-            self.complete(name, start, category=category, node=node, **attrs)
+            if parent is not None:
+                attrs["parent"] = parent.span_id
+            self.complete(name, start, category=category, node=node,
+                          ctx=ctx, **attrs)

@@ -205,8 +205,17 @@ class HttperfDriver:
                         name=f"conn-{index}")
 
     def _connection(self, client: str, web: WebServerNode, calls: int):
-        """One httperf connection: SYN (with retries), then ``calls`` calls."""
+        """One httperf connection: SYN (with retries), then ``calls`` calls.
+
+        When tracing is on, the whole connection becomes one causal
+        tree: a ``connection`` root span, a ``connect`` child for the
+        handshake, and per call a client-side ``call`` child whose
+        context rides into :meth:`WebServerNode.handle_call` — the
+        request/cache/db spans become its descendants.
+        """
         sim = self.sim
+        trace = sim.trace
+        conn_ctx = trace.root_context() if trace is not None else None
         start = sim._now
         attempt = 0
         while not web.try_accept():
@@ -219,10 +228,10 @@ class HttperfDriver:
         web_name = web.server.name
         yield self.topology.rtt(client, web_name)
         connect_delay = sim._now - start
-        if sim.trace is not None:
-            sim.trace.complete("connect", start, category="web",
-                               node=web_name, client=client,
-                               syn_retries=attempt)
+        if trace is not None:
+            trace.complete("connect", start, category="web",
+                           node=web_name, ctx=trace.child_context(conn_ctx),
+                           client=client, syn_retries=attempt)
         self._count_connection()
         epoch = web.epoch
         message = self.topology.message
@@ -231,12 +240,18 @@ class HttperfDriver:
         try:
             for i in range(calls):
                 call_start = sim._now
+                call_ctx = trace.child_context(conn_ctx) \
+                    if trace is not None else None
                 yield from message(client, web_name, request_bytes)
-                handler = sim.process(web.handle_call(client))
+                handler = sim.process(web.handle_call(client, ctx=call_ctx))
                 timer = Timeout(sim, timeout_s)
                 yield AnyOf(sim, [handler, timer])
                 if not handler.processed:
                     self._count_timeout()
+                    if trace is not None:
+                        trace.complete("call", call_start, category="web",
+                                       node=client, ctx=call_ctx,
+                                       aborted="client-timeout")
                     return  # client gave up; server keeps grinding
                 # The race is settled: drop the client-timeout timer
                 # from the calendar instead of letting every completed
@@ -244,12 +259,19 @@ class HttperfDriver:
                 timer.cancel()
                 record = handler.value
                 call_delay = sim._now - call_start
+                if trace is not None:
+                    trace.complete("call", call_start, category="web",
+                                   node=client, ctx=call_ctx,
+                                   status=record.status)
                 reported = call_delay + (connect_delay if i == 0 else 0.0)
                 self._count_call(record.ok, call_delay, reported)
                 if record.status == 503:
                     return  # the server died; the connection died with it
         finally:
             web.close_connection(epoch)
+            if trace is not None:
+                trace.complete("connection", start, category="web",
+                               node=web_name, ctx=conn_ctx, client=client)
 
     # -- the resilient path ------------------------------------------------
     #
@@ -295,6 +317,8 @@ class HttperfDriver:
                               calls: int):
         """One httperf connection with every mitigation armed."""
         sim = self.sim
+        trace = sim.trace
+        conn_ctx = trace.root_context() if trace is not None else None
         start = sim._now
         web, syn_retries = yield from self._establish(web)
         if web is None:
@@ -303,26 +327,40 @@ class HttperfDriver:
         web_name = web.server.name
         yield self.topology.rtt(client, web_name)
         connect_delay = sim._now - start
-        if sim.trace is not None:
-            sim.trace.complete("connect", start, category="web",
-                               node=web_name, client=client,
-                               syn_retries=syn_retries)
+        if trace is not None:
+            trace.complete("connect", start, category="web",
+                           node=web_name, ctx=trace.child_context(conn_ctx),
+                           client=client, syn_retries=syn_retries)
         self._count_connection()
         epoch = web.epoch
         try:
             for i in range(calls):
                 call_start = sim._now
-                record = yield from self._resilient_call(client, web)
+                call_ctx = trace.child_context(conn_ctx) \
+                    if trace is not None else None
+                record = yield from self._resilient_call(client, web,
+                                                         call_ctx)
                 if record is None:
                     self._count_timeout()
+                    if trace is not None:
+                        trace.complete("call", call_start, category="web",
+                                       node=client, ctx=call_ctx,
+                                       aborted="client-timeout")
                     return  # the client gave up on this call outright
                 call_delay = sim._now - call_start
+                if trace is not None:
+                    trace.complete("call", call_start, category="web",
+                                   node=client, ctx=call_ctx,
+                                   status=record.status)
                 reported = call_delay + (connect_delay if i == 0 else 0.0)
                 self._count_call(record.ok, call_delay, reported)
                 if record.status == 503 and not record.shed:
                     return  # a server died mid-call; the connection too
         finally:
             web.close_connection(epoch)
+            if trace is not None:
+                trace.complete("connection", start, category="web",
+                               node=web_name, ctx=conn_ctx, client=client)
 
     def _establish(self, web: Optional[WebServerNode]):
         """SYN with retries plus breaker-informed backend failover.
@@ -353,7 +391,7 @@ class HttperfDriver:
             attempt += 1
             self._count_syn_retry()
 
-    def _resilient_call(self, client: str, web: WebServerNode):
+    def _resilient_call(self, client: str, web: WebServerNode, ctx=None):
         """One call with retry-on-failure; returns the final record.
 
         Returns None when the client's timeout expired (no retry: a
@@ -378,7 +416,7 @@ class HttperfDriver:
                     self._rr, exclude=backend)
                 if alternate is not None:
                     backend = alternate
-            record, served_by = yield from self._race(client, backend)
+            record, served_by = yield from self._race(client, backend, ctx)
             if record is None:
                 return None
             if record.ok or attempt >= budget:
@@ -394,7 +432,7 @@ class HttperfDriver:
                 backend = alternate
         return record
 
-    def _race(self, client: str, primary: WebServerNode):
+    def _race(self, client: str, primary: WebServerNode, ctx=None):
         """One call attempt, optionally hedged: first OK answer wins.
 
         A duplicate leg launches on another backend once the primary
@@ -412,7 +450,7 @@ class HttperfDriver:
             hedge_timer = Timeout(sim, cfg.hedge_cfg.trigger_s)
         yield from self.topology.message(
             client, primary.server.name, self.workload.request_bytes)
-        legs = [(primary, sim.process(primary.handle_call(client)))]
+        legs = [(primary, sim.process(primary.handle_call(client, ctx=ctx)))]
         settled = set()
         while True:
             failed = None
@@ -466,7 +504,9 @@ class HttperfDriver:
                         client, alternate.server.name,
                         self.workload.request_bytes)
                     legs.append(
-                        (alternate, sim.process(alternate.handle_call(client))))
+                        (alternate,
+                         sim.process(alternate.handle_call(client,
+                                                           ctx=ctx))))
                 hedge_timer = None   # at most one hedge per call
             events = [process for _, process in legs
                       if not process.processed]

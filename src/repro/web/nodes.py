@@ -40,6 +40,9 @@ class CallRecord:
     #: a losing hedge leg's *work* — not its queueing — is what the
     #: ledger prices as waste).
     cpu_s: float = 0.0
+    #: Causal trace id of this call's span tree (0 when untraced); lets
+    #: telemetry exemplars link a histogram bucket back to a trace.
+    trace_id: int = 0
 
     @property
     def ok(self) -> bool:
@@ -217,28 +220,39 @@ class WebServerNode:
             return P.IMAGE_REPLY_BYTES
         return P.NON_IMAGE_REPLY_BYTES
 
-    def handle_call(self, client_name: str):
+    def handle_call(self, client_name: str, ctx=None):
         """Process generator: serve one HTTP call and send the reply.
 
         Returns the :class:`CallRecord`; also appends it to the node's
-        log when logging is enabled.
+        log when logging is enabled.  ``ctx`` is the caller's
+        :class:`~repro.trace.SpanContext` (the client-side call span);
+        when tracing is on, the request span becomes its child and the
+        cache/db legs become children of the request.
         """
         sim = self.sim
         record = CallRecord(start=sim._now)
         trace = sim.trace
-        rid = trace.next_id() if trace is not None else 0
+        if trace is not None:
+            req_ctx = trace.child_context(ctx)
+            rid = req_ctx.span_id
+            record.trace_id = req_ctx.trace_id
+        else:
+            req_ctx = None
+            rid = 0
         if (self._shed_threshold is not None
                 and self.active_calls >= self._shed_threshold):
             # Admission control: fast-fail while there is still queue
             # headroom, so the balancer can retry elsewhere in
             # milliseconds instead of discovering overload at the
             # client-timeout horizon.
-            yield from self._shed_reply(record, client_name, rid, trace)
+            yield from self._shed_reply(record, client_name, rid, trace,
+                                        req_ctx)
             return record
         if self.active_calls >= self.limits.call_queue_limit:
             # Thread/FD exhaustion: answer 500 cheaply (Figures 4-6's
             # "server error beyond the concurrency cliff").
-            yield from self._error_reply(record, client_name, rid, trace)
+            yield from self._error_reply(record, client_name, rid, trace,
+                                         req_ctx)
             return record
         self.active_calls += 1
         faults = sim.faults
@@ -252,6 +266,10 @@ class WebServerNode:
         busy_time = self.server.cpu.busy_time
         if faults is not None:
             faults.bind(name, process)
+        # The backend leg currently in flight, as ("cache"|"db", start,
+        # node): on an interrupt its span is closed with an ``aborted``
+        # tag instead of silently vanishing from the trace.
+        leg = None
         try:
             content = self._pick_content()
             # Per-request work varies (page size, PHP branches, kernel
@@ -266,6 +284,8 @@ class WebServerNode:
             # Cache leg (timed as the paper's web-server logs time it).
             cache_start = sim._now
             cache = rng.choice(self.cache_nodes)
+            if trace is not None:
+                leg = ("cache", cache_start, cache.server.name)
             if faults is not None and not faults.is_up(cache.server.name):
                 # Dead memcached: the get times out client-side and the
                 # request falls through to the database as a miss.
@@ -283,8 +303,11 @@ class WebServerNode:
                 record.cpu_s += busy_time(costs.cache_client_mi)
             record.cache_s = sim._now - cache_start
             if trace is not None:
+                leg = None
                 trace.complete("cache", cache_start, category="web",
-                               node=cache.server.name, req=rid, hit=hit)
+                               node=cache.server.name,
+                               ctx=trace.child_context(req_ctx),
+                               req=rid, hit=hit)
             if not hit:
                 db_start = sim._now
                 db = rng.choice(self.db_nodes)
@@ -295,9 +318,11 @@ class WebServerNode:
                             if faults.is_up(d.server.name)]
                     if not live:
                         yield from self._error_reply(record, client_name,
-                                                     rid, trace)
+                                                     rid, trace, req_ctx)
                         return record
                     db = live[0]
+                if trace is not None:
+                    leg = ("db", db_start, db.server.name)
                 yield from message(name, db.server.name, P.DB_QUERY_BYTES)
                 yield from db.handle_query(content)
                 yield from message(db.server.name, name, content)
@@ -306,8 +331,11 @@ class WebServerNode:
                     record.cpu_s += busy_time(costs.db_client_mi)
                 record.db_s = sim._now - db_start
                 if trace is not None:
+                    leg = None
                     trace.complete("db", db_start, category="web",
-                                   node=db.server.name, req=rid)
+                                   node=db.server.name,
+                                   ctx=trace.child_context(req_ctx),
+                                   req=rid)
             assemble_mi = (0.6 * costs.request_base_mi
                            + costs.per_reply_kb_mi * content / 1000.0)
             yield from cpu_execute(work_factor * assemble_mi)
@@ -317,18 +345,31 @@ class WebServerNode:
             record.total_s = sim._now - record.start
             if trace is not None:
                 trace.complete("request", record.start, category="web",
-                               node=name, req=rid,
+                               node=name, ctx=req_ctx, req=rid,
                                status=record.status)
             self._log(record)
             return record
-        except Interrupt:
+        except Interrupt as exc:
             # The web server died under this request; the client's
             # connection is dead (reported as a 503 service failure).
             record.status = 503
             record.total_s = sim._now - record.start
             if trace is not None:
+                cause = exc.cause
+                kind = getattr(cause, "kind", None) or (
+                    type(cause).__name__ if cause is not None
+                    else "interrupt")
+                if leg is not None:
+                    # Close the backend leg the fault cut short so the
+                    # causal tree never holds a dangling span.
+                    leg_name, leg_start, leg_node = leg
+                    trace.complete(leg_name, leg_start, category="web",
+                                   node=leg_node,
+                                   ctx=trace.child_context(req_ctx),
+                                   req=rid, aborted=kind)
                 trace.complete("request", record.start, category="web",
-                               node=name, req=rid, status=503)
+                               node=name, ctx=req_ctx, req=rid, status=503,
+                               aborted=kind)
             self._log(record)
             return record
         finally:
@@ -337,7 +378,7 @@ class WebServerNode:
             self.active_calls -= 1
 
     def _shed_reply(self, record: CallRecord, client_name: str,
-                    rid: int, trace):
+                    rid: int, trace, ctx=None):
         """Fast-fail one call under admission control and meter the cost."""
         self.shed_calls += 1
         record.shed = True
@@ -355,12 +396,12 @@ class WebServerNode:
         record.total_s = self.sim.now - record.start
         if trace is not None:
             trace.complete("request", record.start, category="web",
-                           node=self.server.name, req=rid, status=503,
-                           shed=True)
+                           node=self.server.name, ctx=ctx, req=rid,
+                           status=503, shed=True)
         self._log(record)
 
     def _error_reply(self, record: CallRecord, client_name: str,
-                     rid: int, trace):
+                     rid: int, trace, ctx=None):
         """Answer 500 cheaply and log the failed call."""
         self.errors_500 += 1
         record.status = 500
@@ -370,7 +411,8 @@ class WebServerNode:
         record.total_s = self.sim.now - record.start
         if trace is not None:
             trace.complete("request", record.start, category="web",
-                           node=self.server.name, req=rid, status=500)
+                           node=self.server.name, ctx=ctx, req=rid,
+                           status=500)
         self._log(record)
 
     def _log(self, record: CallRecord) -> None:

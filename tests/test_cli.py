@@ -111,3 +111,69 @@ def test_carbon_command_runs_a_tiny_day(tmp_path, capsys):
         == [("no-wait", "edison"), ("threshold", "edison"),
             ("no-wait", "dell"), ("threshold", "dell")]
     assert report["platform_delta"]["no_wait_ratio"] > 1.0
+
+
+def test_web_flame_flag_writes_both_formats(tmp_path, capsys):
+    html = tmp_path / "flame.html"
+    collapsed = tmp_path / "flame.txt"
+    assert main(["web", "--platform", "edison", "--scale", "1/8",
+                 "--concurrency", "16", "--duration", "1.5",
+                 "--flame", str(html)]) == 0
+    assert main(["web", "--platform", "edison", "--scale", "1/8",
+                 "--concurrency", "16", "--duration", "1.5",
+                 "--flame", str(collapsed)]) == 0
+    out = capsys.readouterr().out
+    assert out.count("flame:") == 2
+    assert html.read_text().startswith("<!DOCTYPE html>")
+    assert "<svg" in html.read_text()
+    first_line = collapsed.read_text().splitlines()[0]
+    stack, _, count = first_line.rpartition(" ")
+    assert ";" in stack or "@" in stack
+    assert int(count) > 0
+
+
+def test_flame_flag_rejects_missing_directory():
+    with pytest.raises(SystemExit):
+        main(["web", "--platform", "edison", "--scale", "1/8",
+              "--concurrency", "16", "--duration", "1.5",
+              "--flame", "/no/such/dir/flame.html"])
+
+
+def test_trace_extension_picks_jsonl_format(tmp_path, capsys):
+    from repro.trace import read_jsonl
+    path = tmp_path / "run.jsonl"
+    assert main(["web", "--platform", "edison", "--scale", "1/8",
+                 "--concurrency", "16", "--duration", "1.5",
+                 "--trace", str(path)]) == 0
+    assert "repro causality" in capsys.readouterr().out
+    log = read_jsonl(str(path))
+    assert len(log) > 100
+    assert any(event.span_id for event in log)
+
+
+def test_causality_command_reports_trees_and_energy(tmp_path, capsys):
+    trace_path = tmp_path / "run.jsonl"
+    assert main(["web", "--platform", "edison", "--scale", "1/8",
+                 "--concurrency", "16", "--duration", "1.5",
+                 "--trace", str(trace_path)]) == 0
+    capsys.readouterr()
+    flame = tmp_path / "flame.txt"
+    energy_flame = tmp_path / "energy.html"
+    assert main(["causality", str(trace_path), "--after", "0.5",
+                 "--flame", str(flame),
+                 "--energy-flame", str(energy_flame)]) == 0
+    out = capsys.readouterr().out
+    assert "causal trees" in out
+    assert "slowest tree: connection" in out
+    assert "decomposition (" in out
+    assert "energy web-0:" in out
+    assert flame.read_text()
+    assert energy_flame.read_text().startswith("<!DOCTYPE html>")
+
+
+def test_causality_command_rejects_unidentified_trace(tmp_path):
+    from repro.trace import TraceLog, write_jsonl
+    path = tmp_path / "empty.jsonl"
+    write_jsonl(TraceLog(), str(path))
+    with pytest.raises(SystemExit):
+        main(["causality", str(path)])

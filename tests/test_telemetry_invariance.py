@@ -58,6 +58,66 @@ def test_rules_do_not_perturb_results_either():
     assert deployment.run_level(16, duration=1.5, warmup=0.5) == plain
 
 
+def test_exemplar_telemetry_does_not_perturb_results():
+    # Exemplar collection is deterministic bookkeeping over records the
+    # scrape already reads — no RNG, no resource touches — so even a
+    # traced + exemplar-collecting run stays bit-identical.
+    plain = WebServiceDeployment("edison", "1/8", seed=3) \
+        .run_level(16, duration=1.5, warmup=0.5)
+    telemetry = Telemetry(exemplars=True)
+    deployment = WebServiceDeployment("edison", "1/8", seed=3,
+                                      trace=Tracer())
+    telemetry.attach_web(deployment)
+    assert deployment.run_level(16, duration=1.5, warmup=0.5) == plain
+    assert len(telemetry.exemplars) > 0
+
+
+def exemplar_run():
+    telemetry = Telemetry(exemplars=True)
+    deployment = WebServiceDeployment("edison", "1/8", seed=3,
+                                      trace=Tracer())
+    telemetry.attach_web(deployment)
+    deployment.run_level(16, duration=1.5, warmup=0.5)
+    return telemetry
+
+
+def test_exemplars_are_deterministic_across_identical_runs():
+    first = exemplar_run().exemplars.exemplars()
+    second = exemplar_run().exemplars.exemplars()
+    assert first == second               # same buckets, values, trace ids
+    assert all(ex.trace_id > 0 for ex in first)
+
+
+def test_untraced_run_collects_no_exemplars():
+    # Without a tracer, call records carry trace_id 0 and the store
+    # must stay empty rather than invent identities.
+    telemetry = Telemetry(exemplars=True)
+    deployment = WebServiceDeployment("edison", "1/8", seed=3)
+    telemetry.attach_web(deployment)
+    deployment.run_level(16, duration=1.0, warmup=0.25)
+    assert len(telemetry.exemplars) == 0
+    assert telemetry.slo_report().worst_exemplar is None
+
+
+def test_worst_exemplar_reaches_slo_report_and_bundle(tmp_path):
+    import json
+    telemetry = exemplar_run()
+    report = telemetry.slo_report()
+    worst = report.worst_exemplar
+    assert worst is not None
+    store = telemetry.exemplars
+    assert worst == store.worst().to_dict()
+    assert worst["value"] == max(ex.value for ex in store.exemplars())
+    assert any(f"trace {worst['trace_id']}" in line
+               for line in report.lines())
+    path = str(tmp_path / "bundle.json")
+    telemetry.save(path)
+    with open(path, encoding="utf-8") as handle:
+        bundle = json.load(handle)
+    assert bundle["slo"]["worst_exemplar"] == worst
+    assert bundle["exemplars"] == store.to_dict()
+
+
 # -- detection vs recovery ----------------------------------------------------
 
 KILL_AT = 20.0

@@ -42,6 +42,11 @@ def assert_logs_equal(original: TraceLog, parsed: TraceLog):
         assert theirs.ts == ours.ts
         assert theirs.dur == ours.dur
         assert theirs.attrs == ours.attrs
+        # Span identity survives the round trip, so causal trees can
+        # be rebuilt from the re-read file.
+        assert theirs.trace_id == ours.trace_id
+        assert theirs.span_id == ours.span_id
+        assert theirs.parent_id == ours.parent_id
 
 
 def test_jsonl_roundtrip_real_run(tmp_path):
@@ -80,6 +85,44 @@ def test_jsonl_roundtrip_awkward_values(tmp_path):
     path = str(tmp_path / "trace.jsonl")
     write_jsonl(log, path)
     assert_logs_equal(log, read_jsonl(path))
+
+
+def test_jsonl_roundtrip_preserves_causal_tree(tmp_path):
+    # The regression behind this test: the exporters used to drop span
+    # identity, so a re-read file flattened every causal tree.
+    from repro.causality import build_forest
+    log = traced_web_run()
+    path = str(tmp_path / "trace.jsonl")
+    write_jsonl(log, path)
+    original = build_forest(log)
+    parsed = build_forest(read_jsonl(path))
+    assert len(original.by_id) > 0
+    assert len(parsed.by_id) == len(original.by_id)
+    assert len(parsed.roots) == len(original.roots)
+    shape = lambda forest: [
+        [(n.name, n.span_id, n.parent_id, len(n.children))
+         for n in root.walk()]
+        for root in forest.roots]
+    assert shape(parsed) == shape(original)
+    # At least one request span hangs off a call under a connection.
+    chains = [tuple(a.name for a in parsed.ancestors(n.span_id))
+              for n in parsed.walk() if n.name == "request"]
+    assert ("call", "connection") in chains
+
+
+def test_csv_legacy_header_still_loads(tmp_path):
+    # Pre-identity CSV files (7 columns) must keep loading, with all
+    # ids defaulting to 0 (no identity).
+    path = tmp_path / "legacy.csv"
+    path.write_text('ts,dur,phase,category,name,node,attrs\n'
+                    '0.5,0.1,X,web,request,web-0,"{""status"": 200}"\n')
+    log = read_csv(str(path))
+    assert len(log) == 1
+    event = next(iter(log))
+    assert event.name == "request"
+    assert event.trace_id == 0
+    assert event.span_id == 0
+    assert event.parent_id == 0
 
 
 def test_read_csv_rejects_foreign_file(tmp_path):
