@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""DVFS smoke: off-path bit-identity plus the governor sweep.
+
+Two contracts, checked in order:
+
+1. **Off-path fidelity** — with DVFS *off* (either ``None`` or
+   ``DvfsConfig.disabled()``) a fixed-rate web level, a shaped day and
+   a MapReduce job must match the committed digests in
+   ``experiments/dvfs_baseline.json`` float-for-float, and the
+   ``None`` and ``disabled()`` variants must match each other.  The
+   P-state tables on every CpuSpec must be invisible until a governor
+   arms them.
+
+2. **Sweep acceptance** — the committed seeded plan in
+   ``experiments/dvfs_day.json`` must show ``ondemand`` strictly
+   beating ``performance`` on joules at equal SLO attainment on at
+   least one platform/shape arm, with transitions actually happening
+   and the proportionality scorecards populated.  The full report
+   (arms + scorecards) lands in ``--out-dir`` as JSON plus an HTML
+   dashboard of one governed day.
+
+Run:  PYTHONPATH=src python scripts/run_dvfs_smoke.py
+      PYTHONPATH=src python scripts/run_dvfs_smoke.py --update
+"""
+
+import os
+import sys
+from dataclasses import asdict
+
+import smokelib
+from smokelib import check
+
+smokelib.bootstrap()
+
+BASELINE = os.path.join(smokelib.EXPERIMENTS, "dvfs_baseline.json")
+DAY = os.path.join(smokelib.EXPERIMENTS, "dvfs_day.json")
+
+
+def off_path_digests(dvfs):
+    """Fidelity digests with DVFS off: one fixed-rate web level, one
+    shaped day, one MapReduce job — through the same attach helpers
+    the armed path uses, so "off" exercises the real integration."""
+    from repro.dvfs import DVFS_SEED, attach_job, attach_web
+    from repro.mapreduce import JOB_FACTORIES, JobRunner
+    from repro.web import (DiurnalShape, ShapedLoad,
+                           WebServiceDeployment)
+
+    static = WebServiceDeployment("edison", "1/4", seed=DVFS_SEED)
+    assert attach_web(static, dvfs, until=3.0) is None
+    level = static.run_level(24, duration=3.0, warmup=1.0)
+
+    shape = ShapedLoad(DiurnalShape(base_rps=60.0, peak_rps=240.0,
+                                    period_s=24.0))
+    shaped = WebServiceDeployment("edison", "1/4", seed=DVFS_SEED)
+    assert attach_web(shaped, dvfs, until=24.0) is None
+    shaped_level = shaped.run_shaped(shape, 24.0, calls=5)
+
+    spec, config = JOB_FACTORIES["wordcount2"]("edison", 8)
+    runner = JobRunner("edison", 8, config=config, seed=DVFS_SEED)
+    assert attach_job(runner, dvfs) is None
+    report = runner.run(spec)
+    return {"level": asdict(level),
+            "shaped": asdict(shaped_level),
+            "job": {"seconds": report.seconds, "joules": report.joules,
+                    "locality_fraction": report.locality_fraction}}
+
+
+def render_governed_dashboard(plan, out_dir: str) -> None:
+    """One governed diurnal day, dashboarded with its scorecards."""
+    from repro.dvfs import DvfsConfig, attach_web, measure_proportionality
+    from repro.telemetry import Telemetry, write_dashboard
+    from repro.web import WebServiceDeployment
+
+    shape_name = "diurnal" if "diurnal" in plan.shapes \
+        else next(iter(plan.shapes))
+    ondemand = DvfsConfig(enabled=True, governor=plan.ondemand)
+    deployment = WebServiceDeployment("edison", plan.scale("edison"),
+                                      seed=plan.seed)
+    telemetry = Telemetry()
+    telemetry.attach_web(deployment, until=plan.duration_s)
+    attach_web(deployment, ondemand, until=plan.duration_s)
+    deployment.run_shaped(plan.shapes[shape_name], plan.duration_s,
+                          calls=plan.calls)
+    bundle = telemetry.bundle(meta={"experiment": "dvfs",
+                                    "shape": shape_name})
+    bundle["dvfs"] = {
+        "scorecards": [
+            measure_proportionality("edison", scale=plan.scale("edison"),
+                                    dvfs=dvfs, seed=plan.seed,
+                                    calls=plan.calls).to_dict()
+            for dvfs in (None, ondemand)]}
+    path = smokelib.artifact_path(out_dir, "dvfs_dashboard.html")
+    write_dashboard(bundle, path)
+    print(f"  artifact -> {path}")
+
+
+def main() -> int:
+    args = smokelib.make_parser(__doc__).parse_args()
+
+    from repro.dvfs import DvfsConfig, DvfsPlan, dvfs_experiment
+
+    print("off-path fidelity (P-state tables must be invisible):")
+    plain = off_path_digests(None)
+    disabled = off_path_digests(DvfsConfig.disabled())
+    check(plain == disabled,
+          "dvfs=None and DvfsConfig.disabled() are bit-identical")
+    smokelib.compare_or_update(
+        BASELINE, plain, args.update,
+        "off-path digests match the committed baseline")
+
+    print("sweep acceptance (committed plan, committed seed):")
+    plan = DvfsPlan.load(DAY)
+    report = dvfs_experiment(plan)
+    for line in report.lines():
+        print("  " + line)
+
+    wins = report.ondemand_wins()
+    check(bool(wins),
+          "ondemand strictly beats performance on joules at equal SLO "
+          f"attainment ({', '.join(wins) or 'none'})")
+    ondemand_arms = [a for a in report.arms if a.governor == "ondemand"]
+    check(all(a.transitions > 0 for a in ondemand_arms),
+          "every ondemand arm actually switched P-states")
+    check(all(a.transitions == 0 for a in report.arms
+              if a.governor == "performance"),
+          "performance arms never left P0")
+    for card in report.scorecards:
+        check(0.0 < card.dynamic_range < 1.0,
+              f"{card.platform}/{card.governor} dynamic range in (0, 1) "
+              f"({card.dynamic_range:.3f})")
+    # Gap figures normalise to each card's *own* measured peak, and a
+    # governor lowers that peak too — so compare ladders by what they
+    # burned, not by their self-normalised shapes.
+    nominal = {c.platform: c for c in report.scorecards
+               if c.governor == "nominal"}
+    governed = {c.platform: c for c in report.scorecards
+                if c.governor != "nominal"}
+    for platform, card in governed.items():
+        rival = nominal.get(platform)
+        if rival is not None:
+            spent = sum(p.joules for p in card.points)
+            rival_spent = sum(p.joules for p in rival.points)
+            check(spent < rival_spent,
+                  f"{platform}: the governed ladder burns fewer joules "
+                  f"({spent:.1f} J vs {rival_spent:.1f} J nominal)")
+
+    smokelib.write_artifact(args.out_dir, "dvfs_report.json",
+                            report.to_dict())
+    render_governed_dashboard(plan, args.out_dir)
+    return smokelib.finish()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ from ..trace.context import SpanContext
 from .critical import (CriticalPath, Segment, critical_path,
                        decomposition_from_critical_paths, self_times)
 from .energy import (EnergyAttribution, NodeEnergy, attribute_energy,
-                     node_power_samples)
+                     node_power_samples, pstate_transitions)
 from .exemplars import Exemplar, ExemplarStore
 from .flame import (collapse, energy_stacks, latency_stacks, render_html,
                     write_collapsed, write_flame_html)
@@ -47,6 +47,7 @@ __all__ = [
     "NodeEnergy",
     "attribute_energy",
     "node_power_samples",
+    "pstate_transitions",
     "Exemplar",
     "ExemplarStore",
     "collapse",

@@ -32,6 +32,30 @@ from .forest import SpanForest, build_forest
 #: Per-node power counters end with this suffix (see PowerMeter.sample).
 NODE_POWER_SUFFIX = ".node_power_w"
 
+#: DVFS transition instants (see repro.dvfs.DvfsPlane): the governor
+#: stamps one per P-state change *and* forces a meter sample at the
+#: same instant, so the sampled power trace integrated below carries an
+#: edge exactly at the transition — attribution prices the active
+#: P-state without smearing the step across a sampling interval.
+PSTATE_EVENT = "dvfs.pstate"
+
+
+def pstate_transitions(log: Iterable) -> Dict[str, List[Tuple[float, int]]]:
+    """Per-node ``(t, pstate_index)`` transition marks from the trace.
+
+    Empty for runs without a DVFS governor; used by the DVFS report and
+    tests to check that per-span attribution brackets every transition
+    with a metered power edge.
+    """
+    marks: Dict[str, List[Tuple[float, int]]] = {}
+    for event in log:
+        if event.name == PSTATE_EVENT and event.node:
+            marks.setdefault(event.node, []).append(
+                (event.ts, int(event.attrs.get("index", 0))))
+    for series in marks.values():
+        series.sort(key=lambda ti: ti[0])
+    return marks
+
 
 @dataclass
 class NodeEnergy:

@@ -387,6 +387,23 @@ def _cmd_carbon(args) -> int:
     return 0
 
 
+def _cmd_dvfs(args) -> int:
+    """The governor sweep: governor x platform x load shape."""
+    import json
+    from .dvfs import DvfsPlan, dvfs_experiment
+    if args.json:
+        _check_parent_dir("--json", args.json)
+    plan = DvfsPlan.load(args.plan)
+    report = dvfs_experiment(plan, scorecards=not args.no_scorecards)
+    for line in report.lines():
+        print(line)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=1)
+        print(f"report -> {args.json}")
+    return 0
+
+
 def _cmd_causality(args) -> int:
     """Post-mortem a saved span trace: trees, critical paths, energy."""
     from . import causality
@@ -763,6 +780,23 @@ def build_parser() -> argparse.ArgumentParser:
     carbon.add_argument("--json", metavar="PATH",
                         help="also write the report as JSON to PATH")
     carbon.set_defaults(func=_cmd_carbon)
+
+    dvfs = sub.add_parser(
+        "dvfs",
+        help="governor sweep: performance, powersave and ondemand x "
+             "both platforms x three day shapes, with joules, p95, "
+             "P-state switches and energy-proportionality scorecards")
+    dvfs.add_argument(
+        "--plan", default=os.path.join(os.path.dirname(__file__), "..", "..",
+                                       "experiments", "dvfs_day.json"),
+        metavar="FILE",
+        help="DvfsPlan JSON (default: the committed experiments/"
+             "dvfs_day.json)")
+    dvfs.add_argument("--json", metavar="PATH",
+                      help="also write the report as JSON to PATH")
+    dvfs.add_argument("--no-scorecards", action="store_true",
+                      help="skip the 10..100%% load ladders (faster)")
+    dvfs.set_defaults(func=_cmd_dvfs)
 
     sub.add_parser("table2", help="capacity estimate") \
         .set_defaults(func=_cmd_table2)

@@ -1,0 +1,47 @@
+"""DVFS: P-state governors and the energy-proportionality scorecard.
+
+The paper measures both platforms at nominal frequency; its Table 3
+power models show why that leaves energy on the table — a mostly-idle
+server still burns its full busy-power slope on every request.  This
+package adds the knob real kernels turn: discrete P-states on every
+CPU (:class:`~repro.hardware.PState`, declared per platform in the
+hardware profiles), three cpufreq-style governors (``performance``,
+``powersave``, ``ondemand``) actuated by a :class:`DvfsPlane` that
+reads node utilisation from the telemetry TSDB, and an
+energy-proportionality scorecard that ladders a deployment from 10 %
+to 100 % load to report dynamic range, proportionality gap and work
+per joule.
+
+Everything is strictly opt-in.  With DVFS disabled (the default) no
+plane, governor or extra process exists and every run is bit-identical
+to a build without this package — the same hard guarantee
+`repro.trace`, `repro.telemetry`, `repro.faults`, `repro.resilience`,
+`repro.autoscale` and `repro.carbon` make.
+"""
+
+from .config import GOVERNOR_KINDS, DvfsConfig, GovernorConfig
+from .governor import (OndemandGovernor, PerformanceGovernor,
+                       PowersaveGovernor, make_governor)
+from .plane import DvfsPlane, attach_job, attach_web
+from .scorecard import (DVFS_SEED, LOAD_FRACTIONS, LoadPoint,
+                        ProportionalityScorecard, measure_proportionality)
+
+__all__ = [
+    "DVFS_SEED", "DvfsArm", "DvfsConfig", "DvfsPlan", "DvfsPlane",
+    "DvfsReport", "GOVERNOR_KINDS", "GovernorConfig", "LOAD_FRACTIONS",
+    "LoadPoint", "OndemandGovernor", "PerformanceGovernor",
+    "PowersaveGovernor", "ProportionalityScorecard", "attach_job",
+    "attach_web", "dvfs_experiment", "make_governor",
+    "measure_proportionality",
+]
+
+_REPORT_NAMES = ("DvfsArm", "DvfsPlan", "DvfsReport", "dvfs_experiment")
+
+
+def __getattr__(name):
+    # Deferred: report builds on repro.telemetry and repro.web's
+    # deployment surface — keep the heavy imports off the config path.
+    if name in _REPORT_NAMES:
+        from . import report
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -69,7 +69,8 @@ class PowerMeter:
                 # (identical to the plain formula while the node is up).
                 node_w = faults.node_watts(server, utilization)
             else:
-                node_w = server.spec.power.power(utilization)
+                node_w = server.spec.power.power(utilization,
+                                                 server.cpu.pstate)
             watts += node_w
             self.per_node[server.name].record(now, node_w)
             if trace is not None:

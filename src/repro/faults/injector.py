@@ -158,11 +158,12 @@ class FaultInjector:
 
         Crashed nodes draw idle power (the paper's meters would keep
         counting a hung Edison), unpowered nodes draw nothing — keeping
-        work-done-per-joule honest under faults.
+        work-done-per-joule honest under faults.  An up node is priced
+        at its CPU's active P-state.
         """
         status = self.status.get(server.name)
         if status is None or status.up:
-            return server.spec.power.power(utilization)
+            return server.spec.power.power(utilization, server.cpu.pstate)
         if status.unpowered_tokens > 0 or status.admin_off:
             return 0.0
         # Crashed-but-powered, or administratively booting: idle draw.

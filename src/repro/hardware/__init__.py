@@ -1,6 +1,6 @@
 """Calibrated hardware models: CPU, memory, storage, NIC, power, servers."""
 
-from .cpu import Cpu, CpuSpec
+from .cpu import NOMINAL_PSTATE, Cpu, CpuSpec, PState, derive_pstates
 from .memory import Memory, MemorySpec
 from .nic import Nic, NicSpec
 from .power import DEFAULT_WEIGHTS, PowerSpec, cluster_power
@@ -12,7 +12,8 @@ from .storage import Storage, StorageSpec
 
 __all__ = [
     "Cpu", "CpuSpec", "DEFAULT_WEIGHTS", "DELL_R620", "EDISON",
-    "EDISON_INTEGRATED_NIC", "Memory", "MemorySpec", "Nic", "NicSpec",
-    "PROFILES", "PowerSpec", "Server", "ServerSpec", "Storage",
-    "StorageSpec", "cluster_power", "make_server",
+    "EDISON_INTEGRATED_NIC", "Memory", "MemorySpec", "NOMINAL_PSTATE",
+    "Nic", "NicSpec", "PROFILES", "PState", "PowerSpec", "Server",
+    "ServerSpec", "Storage", "StorageSpec", "cluster_power",
+    "derive_pstates", "make_server",
 ]

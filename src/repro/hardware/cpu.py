@@ -16,8 +16,60 @@ for ``work / dmips`` seconds.  The model captures the two facts Section
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from ..sim import Request, Resource, Simulation
+
+
+@dataclass(frozen=True)
+class PState:
+    """One DVFS operating point of a processor.
+
+    ``dmips_factor`` scales the nominal per-thread DMIPS (frequency is
+    what Dhrystone throughput tracks), ``busy_w_factor`` scales the
+    busy-above-idle power span when a core is saturated in this state
+    (voltage drops with frequency, so the span shrinks faster than
+    linearly — the classic ~f*V^2 story).  P0 is always ``(1.0, 1.0)``
+    so the nominal tables of the paper are reproduced bit-exactly when
+    no governor ever leaves it.
+    """
+
+    name: str
+    dmips_factor: float
+    busy_w_factor: float
+
+    def __post_init__(self):
+        if not 0 < self.dmips_factor <= 1:
+            raise ValueError("dmips_factor must be in (0, 1]")
+        if not 0 < self.busy_w_factor <= 1:
+            raise ValueError("busy_w_factor must be in (0, 1]")
+
+
+#: The implicit single-state table: nominal frequency only.
+NOMINAL_PSTATE = PState("P0", 1.0, 1.0)
+
+
+def derive_pstates(dmips_factors, power_exponent: float = 2.0,
+                   prefix: str = "P") -> Tuple[PState, ...]:
+    """Build a P-state table from relative frequencies alone.
+
+    ``busy_w_factor = dmips_factor ** power_exponent`` models dynamic
+    power ~ f * V^2 with voltage tracking frequency; the first factor
+    must be exactly 1.0 so P0 reproduces the nominal Table 3 numbers
+    bit-exactly (1.0 ** e == 1.0 in IEEE arithmetic).
+    """
+    factors = tuple(dmips_factors)
+    if not factors:
+        raise ValueError("need at least one dmips factor")
+    if factors[0] != 1.0:
+        raise ValueError("the first (P0) dmips factor must be exactly 1.0")
+    if any(b >= a for a, b in zip(factors, factors[1:])):
+        raise ValueError("dmips factors must be strictly decreasing")
+    if power_exponent < 1.0:
+        raise ValueError("power_exponent must be >= 1 (span cannot grow "
+                         "as frequency drops)")
+    return tuple(PState(f"{prefix}{i}", f, f ** power_exponent)
+                 for i, f in enumerate(factors))
 
 
 @dataclass(frozen=True)
@@ -35,12 +87,18 @@ class CpuSpec:
     smt_efficiency:
         Throughput retained per thread when all hardware threads are
         busy (1.0 for non-SMT parts).
+    pstates:
+        Discrete DVFS operating points, highest frequency first.  The
+        default single-entry table pins the CPU at nominal speed, which
+        is bit-identical to the pre-DVFS model; richer tables only
+        matter once a :mod:`repro.dvfs` governor moves off P0.
     """
 
     cores: int
     threads_per_core: int
     dmips_per_thread: float
     smt_efficiency: float = 1.0
+    pstates: Tuple[PState, ...] = (NOMINAL_PSTATE,)
 
     def __post_init__(self):
         if self.cores < 1 or self.threads_per_core < 1:
@@ -49,6 +107,17 @@ class CpuSpec:
             raise ValueError("dmips_per_thread must be > 0")
         if not 0 < self.smt_efficiency <= 1:
             raise ValueError("smt_efficiency must be in (0, 1]")
+        pstates = tuple(self.pstates)
+        object.__setattr__(self, "pstates", pstates)
+        if not pstates:
+            raise ValueError("pstates must hold at least one state")
+        if pstates[0].dmips_factor != 1.0 or pstates[0].busy_w_factor != 1.0:
+            raise ValueError("P0 must carry factors of exactly 1.0 so the "
+                             "nominal tables reproduce bit-exactly")
+        for a, b in zip(pstates, pstates[1:]):
+            if b.dmips_factor >= a.dmips_factor:
+                raise ValueError("pstates must be ordered by strictly "
+                                 "decreasing dmips_factor")
 
     @property
     def vcores(self) -> int:
@@ -84,6 +153,36 @@ class Cpu:
         # Thermal-throttle factor in (0, 1]; the fault injector scales
         # it while a cpu_throttle fault is active.  1.0 means nominal.
         self.throttle = 1.0
+        # Active DVFS operating point.  A governor moves it through
+        # set_pstate(); in-flight bursts are re-rated per slice exactly
+        # like a cpu_throttle fault — the next slice dispatched picks
+        # up the new rate — and the two factors compose multiplicatively.
+        self.pstate_index = 0
+        self._pstate = spec.pstates[0]
+        self._dvfs_factor = 1.0
+
+    @property
+    def pstate(self) -> PState:
+        """The active DVFS operating point (P0 unless a governor moved it)."""
+        return self._pstate
+
+    def set_pstate(self, index: int) -> PState:
+        """Switch to ``spec.pstates[index]``; returns the new state.
+
+        Pure field flips — no events, no RNG — so with every CPU left
+        at index 0 (the default) runs are bit-identical to a build
+        without P-states.  Bursts already executing keep the rate they
+        dispatched with; each subsequent slice re-rates, the same
+        fluid approximation ``cpu_throttle`` faults use.
+        """
+        states = self.spec.pstates
+        if not 0 <= index < len(states):
+            raise ValueError(f"pstate index {index} out of range for "
+                             f"{len(states)} states")
+        self.pstate_index = index
+        self._pstate = states[index]
+        self._dvfs_factor = states[index].dmips_factor
+        return self._pstate
 
     def service_time(self, work_mi: float) -> float:
         """Seconds one vcore needs for ``work_mi`` MI at full machine load."""
@@ -92,15 +191,16 @@ class Cpu:
         return work_mi / self.spec.vcore_dmips
 
     def busy_time(self, work_mi: float) -> float:
-        """Like :meth:`service_time`, but at the *current* throttle.
+        """Like :meth:`service_time`, but at the *current* speed factors.
 
         The seconds a vcore is actually occupied right now — what
-        energy attribution must price, since a thermally throttled core
-        burns power for the whole stretched burst.
+        energy attribution must price, since a thermally throttled or
+        down-clocked core burns power for the whole stretched burst.
         """
         if work_mi < 0:
             raise ValueError(f"negative work {work_mi!r}")
-        return work_mi / (self.spec.vcore_dmips * self.throttle)
+        return work_mi / (self.spec.vcore_dmips * self.throttle
+                          * self._dvfs_factor)
 
     def rate_for(self, active_vcores: int) -> float:
         """Per-vcore DMIPS when ``active_vcores`` are busy.
@@ -136,7 +236,12 @@ class Cpu:
             rate = (self._thread_dmips
                     if len(vcores.users) <= self._cores
                     else self._loaded_dmips)
+            # Throttle and P-state compose multiplicatively; the guards
+            # keep the nominal path free of any multiply, so untouched
+            # runs stay bit-identical to the pre-DVFS model.
             throttle = self.throttle
+            if self._dvfs_factor != 1.0:
+                throttle *= self._dvfs_factor
             if throttle != 1.0:
                 rate *= throttle
             yield work_mi / rate

@@ -60,17 +60,51 @@ class PowerSpec:
         return self.busy_w + self.adapter_w
 
     def effective_utilization(self, utilization: Mapping[str, float]) -> float:
-        """Blend per-component utilisations into one dial in [0, 1]."""
+        """Blend per-component utilisations into one dial in [0, 1].
+
+        Components absent from ``utilization`` count as idle, but a key
+        the weight blend does not know (``"network"`` for ``"net"``,
+        say) raises: silently treating a typo as 0 utilisation would
+        bill idle watts for a busy component and skew every
+        work-per-joule figure downstream.
+        """
+        weights = self.weights
+        for component in utilization:
+            if component not in weights:
+                raise ValueError(
+                    f"unknown power component {component!r}; the weight "
+                    f"blend knows {sorted(weights)}")
         blended = 0.0
-        for component, weight in self.weights.items():
+        for component, weight in weights.items():
             value = utilization.get(component, 0.0)
             blended += weight * min(1.0, max(0.0, value))
         return blended
 
-    def power(self, utilization: Mapping[str, float]) -> float:
-        """Instantaneous wall power for the given component utilisations."""
+    def power(self, utilization: Mapping[str, float],
+              pstate=None) -> float:
+        """Instantaneous wall power for the given component utilisations.
+
+        ``pstate`` (a :class:`~repro.hardware.cpu.PState`) rescales the
+        *CPU share* of the busy-above-idle span by the state's
+        ``busy_w_factor`` — a down-clocked core works longer per MI but
+        draws less while doing it.  ``None`` or P0 takes the exact
+        historical expression, so runs that never leave nominal
+        frequency are bit-identical.
+        """
         u = self.effective_utilization(utilization)
+        if pstate is not None and pstate.busy_w_factor != 1.0:
+            cpu_weight = self.weights.get("cpu", 0.0)
+            if cpu_weight:
+                cpu_part = cpu_weight * min(
+                    1.0, max(0.0, utilization.get("cpu", 0.0)))
+                u = u - cpu_part + cpu_part * pstate.busy_w_factor
         return self.idle_w + (self.busy_w - self.idle_w) * u + self.adapter_w
+
+    def max_w_at(self, pstate) -> float:
+        """Wall power saturated in ``pstate`` (adapter included)."""
+        return (self.idle_w
+                + (self.busy_w - self.idle_w) * pstate.busy_w_factor
+                + self.adapter_w)
 
     def without_adapter(self) -> "PowerSpec":
         """The same server with its USB adapter removed (ablation)."""

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from ..core import paperdata as paper
 from ..sim import Simulation
-from .cpu import CpuSpec
+from .cpu import CpuSpec, derive_pstates
 from .memory import MemorySpec
 from .nic import NicSpec
 from .power import PowerSpec
@@ -22,12 +22,24 @@ from .storage import StorageSpec
 # = 10538 DMIPS, i.e. an SMT efficiency of 10538 / 11383 = 0.926.
 _DELL_SMT_EFFICIENCY = 0.926
 
+# DVFS operating points.  The Edison's Silvermont Atom steps 500 ->
+# 400 -> 333 -> 250 MHz; the R620's E5-2620 walks 2.0 GHz down to
+# 1.2 GHz in 200 MHz P-states.  DMIPS track frequency; the busy power
+# span shrinks as f^2 (voltage riding frequency), so P0 of either
+# table is bit-exactly the nominal Table 3 bracket and the deepest
+# states trade ~2-4x the service time for ~4-9x less marginal power —
+# which is exactly the non-monotone efficiency-vs-frequency surface
+# the GreenLab replication measures on real microservices.
+_EDISON_PSTATES = derive_pstates((1.0, 0.8, 0.666, 0.5))
+_DELL_PSTATES = derive_pstates((1.0, 0.9, 0.8, 0.7, 0.6))
+
 EDISON = ServerSpec(
     platform="edison",
     cpu=CpuSpec(
         cores=paper.EDISON_CORES,
         threads_per_core=1,
         dmips_per_thread=paper.S41_EDISON_DMIPS,
+        pstates=_EDISON_PSTATES,
     ),
     memory=MemorySpec(
         capacity_bytes=paper.EDISON_RAM_BYTES,
@@ -76,6 +88,7 @@ DELL_R620 = ServerSpec(
         threads_per_core=paper.DELL_THREADS_PER_CORE,
         dmips_per_thread=paper.S41_DELL_DMIPS,
         smt_efficiency=_DELL_SMT_EFFICIENCY,
+        pstates=_DELL_PSTATES,
     ),
     memory=MemorySpec(
         capacity_bytes=paper.DELL_RAM_BYTES,

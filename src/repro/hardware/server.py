@@ -95,10 +95,15 @@ class Server:
         return window
 
     def power_now(self, utilization: Optional[Dict[str, float]] = None) -> float:
-        """Wall power for the given (or freshly probed) utilisation."""
+        """Wall power for the given (or freshly probed) utilisation.
+
+        Prices the CPU's active P-state: a governor-parked core burns
+        less per busy second (the P0 default takes the exact historical
+        expression).
+        """
         if utilization is None:
             utilization = self.utilization_window()
-        return self.spec.power.power(utilization)
+        return self.spec.power.power(utilization, self.cpu.pstate)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Server {self.name} ({self.platform})>"

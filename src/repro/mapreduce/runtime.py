@@ -724,7 +724,15 @@ class JobRunner:
               + spec.costs.map_mi_per_mb * split / 1e6
               + spec.costs.sort_mi_per_mb * out / 1e6
               + C.JVM_START_MI) * factor
-        rate = self.slave_servers[0].cpu.spec.vcore_dmips
+        # Median per-slave rate, not slave 0's: on a heterogeneous
+        # Edison+Dell pool anchoring to whichever platform happens to
+        # sort first would misjudge every attempt on the other one
+        # (a Dell-anchored estimate flags all Edison attempts as
+        # stragglers).  The median rate stands in for the median
+        # completed-attempt duration this estimate replaces; on a
+        # homogeneous pool it is bit-identical to the old anchor.
+        rate = statistics.median(
+            server.cpu.spec.vcore_dmips for server in self.slave_servers)
         return C.TASK_LAUNCH_S + C.TASK_COMMIT_S + mi / rate
 
     def _speculation_monitor(self, spec: JobSpec, state: "_JobState",

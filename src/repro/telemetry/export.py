@@ -135,6 +135,31 @@ def _metric_section(name: str, entries: List[Dict]) -> List[str]:
     return out
 
 
+def _dvfs_section(dvfs: Dict) -> List[str]:
+    """Energy-proportionality scorecards from ``bundle["dvfs"]``."""
+    from ..dvfs.scorecard import ProportionalityScorecard
+    out = ["<h2>Energy proportionality</h2>"]
+    for data in dvfs.get("scorecards", []):
+        card = ProportionalityScorecard.from_dict(data)
+        out.append(f"<h3>{html.escape(card.platform)} {html.escape(card.scale)}"
+                   f" — governor {html.escape(card.governor)}</h3>")
+        out.append(f"<p>idle {card.idle_w:.2f} W, peak {card.peak_w:.2f} W, "
+                   f"dynamic range {card.dynamic_range:.3f}, "
+                   f"proportionality gap {card.proportionality_gap:.3f}</p>")
+        out.append("<table><tr><th>load</th><th>offered rps</th>"
+                   "<th>power</th><th>calls/kJ</th></tr>")
+        best = card.best_point
+        for point in card.points:
+            marker = " &#8592; best" if point is best else ""
+            out.append(f"<tr><td>{point.fraction:.0%}</td>"
+                       f"<td>{point.offered_rps:.0f}</td>"
+                       f"<td>{point.mean_power_w:.2f} W</td>"
+                       f"<td>{point.work_per_joule * 1000:.0f}"
+                       f"{marker}</td></tr>")
+        out.append("</table>")
+    return out
+
+
 def render_dashboard(bundle: Dict) -> str:
     """The bundle as one self-contained HTML page."""
     meta = bundle.get("meta", {})
@@ -189,6 +214,8 @@ def render_dashboard(bundle: Dict) -> str:
         detection = DetectionReport.from_dict(bundle["detection"])
         out.append("<h2>Fault detection</h2><pre>"
                    + html.escape("\n".join(detection.lines())) + "</pre>")
+    if bundle.get("dvfs"):
+        out.extend(_dvfs_section(bundle["dvfs"]))
 
     by_name: Dict[str, List[Dict]] = {}
     for entry in bundle.get("series", []):
@@ -233,4 +260,8 @@ def summary_lines(bundle: Dict) -> List[str]:
         out.extend(SloReport.from_dict(bundle["slo"]).lines())
     if bundle.get("detection"):
         out.extend(DetectionReport.from_dict(bundle["detection"]).lines())
+    if bundle.get("dvfs"):
+        from ..dvfs.scorecard import ProportionalityScorecard
+        for data in bundle["dvfs"].get("scorecards", []):
+            out.extend(ProportionalityScorecard.from_dict(data).lines())
     return out

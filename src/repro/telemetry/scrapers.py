@@ -75,7 +75,9 @@ class NodeAgent:
         db.record(now, "cpu_queue_depth",
                   float(self.server.cpu.vcores.queue_length), node=node)
         db.record(now, "node_power_w",
-                  self.server.spec.power.power(utilization), node=node)
+                  self.server.spec.power.power(utilization,
+                                               self.server.cpu.pstate),
+                  node=node)
         if self.web_node is not None:
             self._scrape_web(now, db, node)
         if self.node_manager is not None:

@@ -121,7 +121,17 @@ class Histogram:
                 low, high = self._bounds(index)
                 estimate = self.floor if index == 0 \
                     else math.sqrt(low * high)
-                return min(max(estimate, self._min), self._max)
+                # Clamp into the bucket's own bounds intersected with
+                # the tracked extremes.  Bucket intervals are disjoint
+                # and increasing and the extremes are rank-independent,
+                # so estimates are monotone non-decreasing in p by
+                # construction — including across the exact-tracked
+                # tails: rank 1 (= min) never exceeds rank 2's clamp
+                # floor, and rank count-1's clamp ceiling never
+                # exceeds rank count (= max).  A seeded property test
+                # pins this invariant.
+                return min(max(estimate, low, self._min),
+                           high, self._max)
         raise AssertionError("unreachable: rank exceeds total count")
 
     def buckets(self) -> List[Tuple[float, float, int]]:

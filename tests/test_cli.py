@@ -82,6 +82,34 @@ def test_autoscale_command_runs_a_tiny_day(tmp_path, capsys):
         "static-edison", "static-dell", "autoscaled-hybrid"]
 
 
+def test_dvfs_command_runs_a_tiny_sweep(tmp_path, capsys):
+    import json
+
+    from repro.dvfs import DvfsPlan
+    from repro.web import DiurnalShape, ShapedLoad
+
+    plan = DvfsPlan(
+        name="tiny",
+        shapes={"diurnal": ShapedLoad(DiurnalShape(
+            base_rps=40.0, peak_rps=260.0, period_s=6.0))},
+        duration_s=6.0, calls=4)
+    plan_path = tmp_path / "day.json"
+    plan.save(str(plan_path))
+    json_path = tmp_path / "report.json"
+
+    assert main(["dvfs", "--plan", str(plan_path), "--no-scorecards",
+                 "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "governor sweep" in out
+    assert "verdict" in out
+    report = json.loads(json_path.read_text())
+    assert [arm["governor"] for arm in report["arms"]] == [
+        "performance", "powersave", "ondemand"] * 2
+    assert {arm["platform"] for arm in report["arms"]} == \
+        {"edison", "dell"}
+    assert report["scorecards"] == []
+
+
 def test_carbon_command_runs_a_tiny_day(tmp_path, capsys):
     import json
 

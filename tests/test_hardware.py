@@ -175,6 +175,19 @@ def test_power_weights_must_sum_to_one():
         PowerSpec(idle_w=1, busy_w=2, weights={"cpu": 0.5})
 
 
+def test_power_unknown_component_key_raises():
+    # Regression: a typo'd component key ("network" for "net") used to
+    # silently count as idle, billing idle watts for a busy component
+    # and skewing every work-per-joule figure downstream.
+    spec = PowerSpec(idle_w=50, busy_w=100)
+    with pytest.raises(ValueError, match="network"):
+        spec.effective_utilization({"cpu": 0.5, "network": 0.9})
+    with pytest.raises(ValueError):
+        spec.power({"CPU": 1.0})
+    # Absent components still legitimately count as idle.
+    assert spec.effective_utilization({}) == 0.0
+
+
 def test_power_without_adapter_ablation():
     bare = EDISON.power.without_adapter()
     assert bare.min_w == pytest.approx(paper.T3_EDISON_BARE_IDLE_W)

@@ -159,6 +159,29 @@ def test_histogram_percentile_low_tail_clamped_to_min():
         assert 1.9 <= hist.percentile(p) <= 1002.0
 
 
+def test_histogram_percentile_monotone_in_p_property():
+    # Property, seeded: for any observation set, percentile() must be
+    # non-decreasing in p — the clamp into [max(low, min), min(high,
+    # max)] makes this structural (bucket intervals are disjoint and
+    # increasing), and a dashboard with p50 > p95 is a bug wherever
+    # the estimates land inside their buckets.
+    rng = random.Random(1337)
+    grid = [p / 2 for p in range(0, 201)]
+    for trial in range(25):
+        hist = Histogram(growth=rng.choice([1.05, 1.1, 1.5, 2.0]))
+        count = rng.randint(1, 200)
+        for _ in range(count):
+            if rng.random() < 0.2:
+                value = 0.0 if rng.random() < 0.5 else rng.choice(
+                    [1e-12, 1e-9, 1e6, 1e9])
+            else:
+                value = rng.lognormvariate(0.0, 3.0)
+            hist.observe(value)
+        estimates = [hist.percentile(p) for p in grid]
+        for p, lo, hi in zip(grid[1:], estimates, estimates[1:]):
+            assert hi >= lo, (trial, p, lo, hi)
+
+
 def test_histogram_edges():
     hist = Histogram()
     with pytest.raises(ValueError):
