@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Durability smoke: off-path bit-identity plus the committed day.
+
+Two contracts, checked in order:
+
+1. **Off-path fidelity** — with the durability plane *off* (either
+   ``None`` or ``DurabilityConfig.disabled()``) a plain MapReduce job,
+   a crash-faulted job and a partitioned job must match the committed
+   digests in ``experiments/durability_baseline.json``
+   float-for-float, and the ``None`` and ``disabled()`` variants must
+   match each other.  No phi detector, heartbeat feeder, repair
+   monitor or ledger may exist until a config arms them.
+
+2. **Day acceptance** — the committed seeded day in
+   ``experiments/durability_day.json`` (a ToR switch outage, a
+   two-node trunk partition, a dead disk, a late rack partition) must
+   show the paper's Section 6 knee: rack-aware r=2 rides out the whole
+   day on Edison with zero lost blocks while r=1 records a loss event;
+   block conservation holds at every census; split-brain
+   reconciliation kills every zombie it starts; and partitions add
+   unreachable-seconds but zero downtime against the no-partition
+   controls.  The full report lands in ``--out-dir`` as JSON.
+
+Run:  PYTHONPATH=src python scripts/run_durability_smoke.py
+      PYTHONPATH=src python scripts/run_durability_smoke.py --update
+"""
+
+import os
+import sys
+
+import smokelib
+from smokelib import check
+
+smokelib.bootstrap()
+
+BASELINE = os.path.join(smokelib.EXPERIMENTS, "durability_baseline.json")
+DAY = os.path.join(smokelib.EXPERIMENTS, "durability_day.json")
+
+
+def off_path_digests(durability):
+    """Fidelity digests with durability off: a plain job, a
+    crash-faulted job and a partitioned job — all through the same
+    :func:`repro.durability.attach_job` the armed path uses, so "off"
+    exercises the real integration point."""
+    from repro.durability import DAY_SEED, attach_job
+    from repro.faults import FaultInjector
+    from repro.faults.models import (FaultPlan, node_crash,
+                                     rack_partition)
+    from repro.mapreduce import JOB_FACTORIES, JobRunner
+
+    def one_job(faults=None, racks=1):
+        spec, config = JOB_FACTORIES["wordcount2"]("dell", 8)
+        runner = JobRunner("dell", 8, config=config, seed=DAY_SEED,
+                           racks=racks)
+        injector = None
+        if faults is not None:
+            injector = FaultInjector(runner.cluster, faults)
+        assert attach_job(runner, durability) is None
+        assert getattr(runner, "durability_ledger", None) is None
+        assert runner.hdfs.monitor is None
+        report = runner.run(spec)
+        digest = {"seconds": report.seconds, "joules": report.joules,
+                  "locality_fraction": report.locality_fraction,
+                  "health": runner.hdfs.health_summary()}
+        if injector is not None:
+            slaves = [s.name for s in runner.slave_servers]
+            digest["downtime_s"] = sum(
+                injector.downtime(n, until=runner.sim.now)
+                for n in slaves)
+            digest["unreachable_s"] = sum(
+                injector.unreachable_time(n, until=runner.sim.now)
+                for n in slaves)
+        return digest
+
+    crash = FaultPlan(faults=(
+        node_crash("dell-slave-3", at=6.0, repair_s=10.0),))
+    cut = FaultPlan(faults=(
+        rack_partition("dell-rack-0", at=6.0, duration=8.0),))
+    return {"plain": one_job(),
+            "crashed": one_job(faults=crash),
+            "partitioned": one_job(faults=cut, racks=2)}
+
+
+def main() -> int:
+    args = smokelib.make_parser(__doc__).parse_args()
+
+    from repro.durability import (DurabilityConfig, DurabilityPlan,
+                                  durability_experiment)
+
+    print("off-path fidelity (no detector/monitor/ledger until armed):")
+    plain = off_path_digests(None)
+    disabled = off_path_digests(DurabilityConfig.disabled())
+    check(plain == disabled,
+          "durability=None and DurabilityConfig.disabled() are "
+          "bit-identical")
+    smokelib.compare_or_update(
+        BASELINE, plain, args.update,
+        "off-path digests match the committed baseline")
+
+    print("day acceptance (committed plan, committed seed):")
+    plan = DurabilityPlan.load(DAY)
+    report = durability_experiment(plan)
+    for line in report.lines():
+        print("  " + line)
+
+    check(report.knee("edison") == 2,
+          "rack-aware r=2 is the durability knee on Edison")
+    r2 = report.arm("edison", True, 2)
+    check(r2.blocks_lost == 0 and not r2.job_failed,
+          "edison rack-aware r=2 finishes the day with zero lost blocks")
+    r1 = report.arm("edison", True, 1)
+    check(r1.loss_events >= 1,
+          f"edison r=1 records a data-loss event "
+          f"({r1.blocks_lost} block(s) gone)")
+    check(all(a.conservation_violations == 0
+              for a in (*report.arms, *report.controls)),
+          "created == live + lost at every census on every arm")
+    check(all(a.duplicate_kills == a.zombies_started
+              for a in (*report.arms, *report.controls)),
+          "reconciliation kills every zombie attempt it starts")
+    check(report.partition_downtime_clean(),
+          "partitions add zero downtime against the no-partition "
+          "controls")
+    fault_arms = [a for a in report.arms
+                  if a.platform in {c.platform for c in report.controls}]
+    check(all(a.unreachable_s > 0 for a in fault_arms)
+          and all(c.unreachable_s == 0 for c in report.controls),
+          "unreachable-seconds accrue on fault arms and never on "
+          "controls")
+    repairing = [a for a in report.arms
+                 if a.replication > 1 and not a.job_failed]
+    check(all(a.repairs_completed > 0 for a in repairing),
+          "every surviving replicated arm actually re-replicated")
+    check(all(a.re_replication_j > 0 for a in repairing),
+          "re-replication is billed to the energy ledger")
+
+    smokelib.write_artifact(args.out_dir, "durability_report.json",
+                            report.to_dict())
+    return smokelib.finish()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -404,6 +404,26 @@ def _cmd_dvfs(args) -> int:
     return 0
 
 
+def _cmd_durability(args) -> int:
+    """The durability day: placement x replication x platform."""
+    import json
+    from .durability import DurabilityPlan, durability_experiment
+    if args.json:
+        _check_parent_dir("--json", args.json)
+    plan = DurabilityPlan.load(args.plan)
+    platforms = tuple(args.platforms) if args.platforms else None
+    kwargs = {} if platforms is None else {"platforms": platforms}
+    report = durability_experiment(plan, controls=not args.no_controls,
+                                   **kwargs)
+    for line in report.lines():
+        print(line)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=1)
+        print(f"report -> {args.json}")
+    return 0
+
+
 def _cmd_causality(args) -> int:
     """Post-mortem a saved span trace: trees, critical paths, energy."""
     from . import causality
@@ -797,6 +817,30 @@ def build_parser() -> argparse.ArgumentParser:
     dvfs.add_argument("--no-scorecards", action="store_true",
                       help="skip the 10..100%% load ladders (faster)")
     dvfs.set_defaults(func=_cmd_dvfs)
+
+    durability = sub.add_parser(
+        "durability",
+        help="durability day: rack-aware vs oblivious placement x "
+             "replication 1..3 x both platforms under a committed "
+             "partition/disk-failure timeline, with blocks lost, "
+             "block-seconds at risk, repair joules and the split-brain "
+             "reconciliation bill")
+    durability.add_argument(
+        "--plan", default=os.path.join(os.path.dirname(__file__), "..", "..",
+                                       "experiments", "durability_day.json"),
+        metavar="FILE",
+        help="DurabilityPlan JSON (default: the committed experiments/"
+             "durability_day.json)")
+    durability.add_argument("--platforms", nargs="*",
+                            choices=("edison", "dell"), metavar="PLATFORM",
+                            help="restrict the day to these platforms "
+                                 "(default: both)")
+    durability.add_argument("--no-controls", action="store_true",
+                            help="skip the no-partition control arms "
+                                 "(faster, but no downtime cross-check)")
+    durability.add_argument("--json", metavar="PATH",
+                            help="also write the report as JSON to PATH")
+    durability.set_defaults(func=_cmd_durability)
 
     sub.add_parser("table2", help="capacity estimate") \
         .set_defaults(func=_cmd_table2)

@@ -30,7 +30,8 @@ def dell_cluster(sim: Simulation, nodes: int = 3,
 def hadoop_cluster(sim: Simulation, platform: str, slaves: int,
                    name: Optional[str] = None,
                    edison_spec: ServerSpec = EDISON,
-                   master_spec: ServerSpec = DELL_R620) -> Cluster:
+                   master_spec: ServerSpec = DELL_R620,
+                   racks: int = 0) -> Cluster:
     """The Section 5.2 Hadoop layouts.
 
     Both platforms use one *unmetered* Dell master (namenode + resource
@@ -39,15 +40,28 @@ def hadoop_cluster(sim: Simulation, platform: str, slaves: int,
     both sides.  Slaves run the datanode + node-manager.  Pass
     ``master_spec=EDISON`` to reproduce the failed all-Edison layout
     (the Edison-master ablation).
+
+    ``racks`` splits the slaves into that many explicit rack domains
+    (``<platform>-rack-0..``), each behind its own ToR uplink — the
+    physical enclosure structure the durability experiments sever.
+    The default 0 keeps the legacy everyone-in-one-room layout.
     """
     if platform not in ("edison", "dell"):
         raise ValueError(f"unknown platform {platform!r}")
     if slaves < 1:
         raise ValueError("need at least one slave")
+    if racks < 0 or racks > slaves:
+        raise ValueError("racks must be in [0, slaves]")
     cluster = Cluster(sim, name=name or f"hadoop-{platform}{slaves}")
     cluster.add(master_spec, "master", metered=False)
     slave_spec = edison_spec if platform == "edison" else DELL_R620
-    cluster.add_many(slave_spec, slaves, prefix=f"{platform}-slave")
+    if racks:
+        per_rack = -(-slaves // racks)   # ceil division
+        for i in range(slaves):
+            cluster.add(slave_spec, f"{platform}-slave-{i}",
+                        rack=f"{platform}-rack-{i // per_rack}")
+    else:
+        cluster.add_many(slave_spec, slaves, prefix=f"{platform}-slave")
     return cluster
 
 

@@ -1,0 +1,54 @@
+"""Durability: partitions, adaptive detection, re-replication, the bill.
+
+The paper's reliability argument (Section 6) is a bet: replicated HDFS
+on 35 wimpy nodes rides out failures that would cripple a 3-node
+brawny cluster.  This package stress-tests that bet past single-node
+crashes, into the failure class that actually separates rack-scale
+micro-server enclosures from big boxes — *network partitions*:
+
+* rack/trunk cuts (``partition``, ``switch_down`` fault kinds) sever
+  reachability without killing nodes, producing real split-brain:
+  zombie duplicate attempts on the minority side, YARN re-execution on
+  the majority, and heal-time reconciliation that kills duplicates and
+  re-registers survivors without double-counting work or downtime;
+* a phi-accrual failure detector (:class:`repro.faults.PhiAccrualDetector`)
+  fed by seeded heartbeat streams replaces fixed-expiry guessing, so
+  dead and merely-unreachable nodes are told apart adaptively;
+* a NameNode-style repair loop (:class:`repro.mapreduce.hdfs.ReplicationMonitor`)
+  detects under-replication on confirmed loss and re-replicates over
+  the real ToR/trunk topology through a bandwidth throttle;
+* the :class:`DurabilityLedger` bills it all — blocks-at-risk series,
+  time-under-replicated integrals, data-loss events, repair and
+  split-brain joules (:class:`repro.energy.RepairCosts`) — and the
+  committed durability day reproduces why rack-aware r=2 is the knee
+  on the Edison cluster.
+
+Everything is strictly opt-in.  With durability disabled (the
+default) no detector, feeder, monitor, ledger or sampler exists and
+every run is bit-identical to a build without this package — the same
+hard guarantee `repro.trace`, `repro.telemetry`, `repro.faults`,
+`repro.resilience`, `repro.autoscale`, `repro.carbon` and
+`repro.dvfs` make.
+"""
+
+from .config import DurabilityConfig, PhiConfig, RepairConfig
+from .ledger import DurabilityLedger
+from .plane import attach_job
+
+__all__ = [
+    "DAY_SEED", "DurabilityArm", "DurabilityConfig", "DurabilityLedger",
+    "DurabilityPlan", "DurabilityReport", "PhiConfig", "RepairConfig",
+    "attach_job", "durability_experiment",
+]
+
+_REPORT_NAMES = ("DAY_SEED", "DurabilityArm", "DurabilityPlan",
+                 "DurabilityReport", "durability_experiment")
+
+
+def __getattr__(name):
+    # Deferred: the report drives whole MapReduce runs — keep the
+    # heavy imports off the config/ledger path.
+    if name in _REPORT_NAMES:
+        from . import report
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

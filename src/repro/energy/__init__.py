@@ -1,8 +1,10 @@
 """Energy measurement: power meters and work-done-per-joule accounting."""
 
 from .account import (EnergyReport, GridImpact, MitigationCosts,
-                      ScalingCosts, efficiency_gain, work_done_per_joule)
+                      RepairCosts, ScalingCosts, efficiency_gain,
+                      work_done_per_joule)
 from .meter import PowerMeter
 
 __all__ = ["EnergyReport", "GridImpact", "MitigationCosts", "PowerMeter",
-           "ScalingCosts", "efficiency_gain", "work_done_per_joule"]
+           "RepairCosts", "ScalingCosts", "efficiency_gain",
+           "work_done_per_joule"]

@@ -86,6 +86,31 @@ class ScalingCosts:
 
 
 @dataclass(frozen=True)
+class RepairCosts:
+    """Joules the cluster spent keeping *data* alive, not computing.
+
+    Filled in by :class:`repro.durability.DurabilityLedger`.
+    ``re_replication_j`` is the disk+wire energy of the NameNode-style
+    repair pipeline copying under-replicated blocks to new homes;
+    ``split_brain_j`` is the CPU burned by zombie duplicate attempts on
+    the minority side of a partition before heal-time reconciliation
+    killed them.  Both land in the meter's total — this breakdown is
+    the durability premium the paper's r=2-on-Edison choice pays.
+    """
+
+    re_replication_j: float = 0.0
+    split_brain_j: float = 0.0
+
+    def __post_init__(self):
+        if self.re_replication_j < 0 or self.split_brain_j < 0:
+            raise ValueError("repair cost components must be >= 0")
+
+    @property
+    def total_j(self) -> float:
+        return self.re_replication_j + self.split_brain_j
+
+
+@dataclass(frozen=True)
 class GridImpact:
     """What a run's joules cost the *grid*: grams of CO2 and dollars.
 

@@ -19,11 +19,11 @@ same way ``tests/test_trace.py`` holds it for tracing.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sim import RngStreams
-from .models import Fault, FaultCause, FaultPlan
+from .models import Fault, FaultCause, FaultPlan, PARTITION_KINDS
 
 #: Listener signature: ``fn(event, node, kind)`` with event "down"/"up".
 FaultListener = Callable[[str, str, str], None]
@@ -38,10 +38,17 @@ class FaultRecord:
     start: float
     #: Repair time; ``None`` while the outage is open (or permanent).
     end: Optional[float] = None
+    #: Every node the fault touched (partition/switch_down sever whole
+    #: sets; ``node`` alone then holds the rack/cut label).
+    nodes: Tuple[str, ...] = field(default_factory=tuple)
 
     @property
     def duration(self) -> Optional[float]:
         return None if self.end is None else self.end - self.start
+
+    def covers(self, name: str) -> bool:
+        """Did this fault affect server ``name``?"""
+        return name == self.node or name in self.nodes
 
 
 class _NodeStatus:
@@ -57,7 +64,8 @@ class _NodeStatus:
 
     __slots__ = ("down_tokens", "unpowered_tokens", "down_since",
                  "last_down_at", "downtime_s", "disk_failed",
-                 "admin_off", "admin_booting")
+                 "admin_off", "admin_booting", "unreachable_tokens",
+                 "unreachable_since", "unreachable_s")
 
     def __init__(self):
         self.down_tokens = 0
@@ -68,6 +76,14 @@ class _NodeStatus:
         self.disk_failed = False
         self.admin_off = False
         self.admin_booting = False
+        # Partition state is tracked apart from the down tokens: an
+        # unreachable node is *alive* (it burns power, its processes
+        # keep running) so it accrues unreachable-seconds, never
+        # downtime — the accounting distinction the split-brain
+        # acceptance check leans on.
+        self.unreachable_tokens = 0
+        self.unreachable_since: Optional[float] = None
+        self.unreachable_s = 0.0
 
     @property
     def up(self) -> bool:
@@ -94,6 +110,11 @@ class FaultInjector:
             raise RuntimeError("this simulation already has a FaultInjector")
         self.plan = plan if plan is not None else FaultPlan.empty()
         self.plan.check_against(cluster.servers)
+        for rack in self.plan.racks():
+            if not cluster.topology.rack_members(rack):
+                raise ValueError(
+                    f"fault plan severs unknown/empty rack {rack!r}; "
+                    f"cluster racks: {cluster.topology.racks()}")
         self.cluster = cluster
         self.sim = sim
         self.detection_s = detection_s
@@ -125,19 +146,32 @@ class FaultInjector:
         status = self.status.get(node)
         return status is None or status.up
 
+    def is_reachable(self, node: str) -> bool:
+        """False while the node sits on the far side of an active cut."""
+        status = self.status.get(node)
+        return status is None or status.unreachable_tokens == 0
+
     def detected_down(self, node: str) -> bool:
-        """True once a crash has been down longer than ``detection_s``.
+        """True once a crash *or a partition* has lasted ``detection_s``.
 
         Administrative power states are detected instantly: the control
         plane *deregistered* the node, it did not have to notice a
-        silent death through missed health checks.
+        silent death through missed health checks.  A partitioned node
+        is alive but silent, and to every health check silence past the
+        detection window looks exactly like death — the split-brain
+        misjudgement partitions are famous for.
         """
         status = self.status.get(node)
-        if status is None or status.up:
+        if status is None:
             return False
-        if status.admin_off or status.admin_booting:
-            return True
-        return self.sim.now >= status.down_since + self.detection_s
+        if not status.up:
+            if status.admin_off or status.admin_booting:
+                return True
+            return self.sim.now >= status.down_since + self.detection_s
+        if status.unreachable_tokens:
+            return self.sim.now >= (status.unreachable_since
+                                    + self.detection_s)
+        return False
 
     def went_down_since(self, node: str, t: float) -> bool:
         """Did the node start an outage at or after time ``t``?
@@ -253,6 +287,16 @@ class FaultInjector:
         if listener not in self._listeners:
             self._listeners.append(listener)
 
+    def bound_processes(self, node: str) -> List:
+        """The processes currently bound to ``node``, in bind order.
+
+        The split-brain reconciliation path uses this: a partitioned
+        node's work is *not* interrupted at cut time (nothing died), but
+        once the majority side expires the node, its still-running
+        attempts become zombies the runtime must account for.
+        """
+        return list(self._bound.get(node, ()))
+
     # -- availability accounting -----------------------------------------
 
     def downtime(self, node: str, until: Optional[float] = None) -> float:
@@ -264,6 +308,22 @@ class FaultInjector:
         open_s = (until - status.down_since
                   if status.down_since is not None else 0.0)
         return status.downtime_s + max(0.0, open_s)
+
+    def unreachable_time(self, node: str,
+                         until: Optional[float] = None) -> float:
+        """Seconds ``node`` has been severed from the fabric so far.
+
+        Deliberately *not* folded into :meth:`downtime`: a partitioned
+        node is alive and drawing power, so availability accounting
+        must match a run that never partitioned at all.
+        """
+        until = self.sim.now if until is None else until
+        status = self.status.get(node)
+        if status is None:
+            return 0.0
+        open_s = (until - status.unreachable_since
+                  if status.unreachable_since is not None else 0.0)
+        return status.unreachable_s + max(0.0, open_s)
 
     def mean_availability(self, until: Optional[float] = None,
                           nodes: Optional[List[str]] = None) -> float:
@@ -307,6 +367,8 @@ class FaultInjector:
                           node=fault.node)
         if fault.kind in ("crash", "power"):
             yield from self._apply_node_down(fault, record)
+        elif fault.kind in PARTITION_KINDS:
+            yield from self._apply_partition(fault, record)
         elif fault.kind == "nic":
             yield from self._apply_nic(fault, record)
         elif fault.kind == "disk_stall":
@@ -317,7 +379,11 @@ class FaultInjector:
             yield from self._apply_packet_loss(fault, record)
         elif fault.kind == "disk_fail":
             self.status[fault.node].disk_failed = True
-            # Permanent: the record's end stays None.
+            # Permanent: the record's end stays None.  Listeners hear
+            # about it (the HDFS repair monitor starts re-replicating);
+            # pre-existing listeners filter on kind and ignore it.
+            for listener in list(self._listeners):
+                listener("down", fault.node, "disk_fail")
         else:  # pragma: no cover - models.py validates kinds
             raise ValueError(f"unhandled fault kind {fault.kind!r}")
 
@@ -351,6 +417,45 @@ class FaultInjector:
             for listener in list(self._listeners):
                 listener("up", fault.node, fault.kind)
         record.end = self.sim.now
+        if self.sim.trace is not None:
+            self.sim.trace.complete(f"fault.{fault.kind}", record.start,
+                                    category="fault", node=fault.node)
+
+    def _apply_partition(self, fault: Fault, record: FaultRecord):
+        """Sever a rack or node set; nothing dies, everything goes quiet.
+
+        Bound processes are *not* interrupted — the far side keeps
+        executing in blissful ignorance (that is the split-brain).  The
+        runtime layers decide separately, through their own detection
+        windows, when to give up on the silent nodes.
+        """
+        topology = self.cluster.topology
+        members = (tuple(topology.rack_members(fault.rack)) if fault.rack
+                   else fault.nodes)
+        record.nodes = members
+        cut_id = topology.sever(members,
+                                isolate=fault.kind == "switch_down")
+        now = self.sim.now
+        for node in members:
+            status = self.status[node]
+            first = status.unreachable_tokens == 0
+            status.unreachable_tokens += 1
+            if first:
+                status.unreachable_since = now
+                for listener in list(self._listeners):
+                    listener("down", node, fault.kind)
+        yield self.sim.timeout(fault.duration)
+        topology.heal(cut_id)
+        now = self.sim.now
+        for node in members:
+            status = self.status[node]
+            status.unreachable_tokens -= 1
+            if status.unreachable_tokens == 0:
+                status.unreachable_s += now - status.unreachable_since
+                status.unreachable_since = None
+                for listener in list(self._listeners):
+                    listener("up", node, fault.kind)
+        record.end = now
         if self.sim.trace is not None:
             self.sim.trace.complete(f"fault.{fault.kind}", record.start,
                                     category="fault", node=fault.node)

@@ -42,6 +42,16 @@ cards):
     seconds; retransmissions inflate every effective transfer time by
     ``1 / (1 - loss)`` (goodput shrinks to ``1 - loss`` of line rate).
     Stacks multiplicatively with ``nic`` degradation on the same link.
+``partition``
+    A network cut: the named rack (or an explicit node set) is severed
+    from the rest of the cluster for ``duration`` seconds.  Nothing
+    dies — nodes on each side keep running and keep talking to their
+    own side, which is exactly what makes partitions nastier than
+    crashes: every health check sees *silence*, not a corpse.
+``switch_down``
+    A rack's ToR switch dies: its members lose all connectivity,
+    including to each other, for ``duration`` seconds.  The correlated
+    whole-enclosure failure the SBC literature warns about.
 """
 
 from __future__ import annotations
@@ -53,7 +63,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 #: The recognised fault kinds.
 FAULT_KINDS = ("crash", "power", "nic", "disk_stall", "disk_fail",
-               "cpu_throttle", "packet_loss")
+               "cpu_throttle", "packet_loss", "partition", "switch_down")
 
 #: The *gray* kinds: the node stays "up" to every health check while
 #: quietly running slow — exactly the failures mitigation exists for.
@@ -61,6 +71,11 @@ GRAY_KINDS = ("cpu_throttle", "packet_loss", "nic", "disk_stall")
 
 #: Kinds that take a node out of service entirely (kill its processes).
 NODE_DOWN_KINDS = ("crash", "power")
+
+#: Kinds that sever connectivity without killing anything: the victims
+#: stay *up* but become *unreachable* — the down/unreachable distinction
+#: the whole partition-tolerance layer exists to honour.
+PARTITION_KINDS = ("partition", "switch_down")
 
 
 @dataclass(frozen=True)
@@ -92,8 +107,15 @@ class Fault:
     slowdown: float = 1.0
     #: Fraction of packets lost during a ``packet_loss`` fault.
     loss: float = 0.0
+    #: Rack severed by a ``partition``/``switch_down`` fault (resolved
+    #: against the topology at injection time).
+    rack: str = ""
+    #: Explicit node set severed by a ``partition`` fault (alternative
+    #: to naming a whole rack).
+    nodes: Tuple[str, ...] = ()
 
     def __post_init__(self):
+        object.__setattr__(self, "nodes", tuple(self.nodes))
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; "
                              f"expected one of {FAULT_KINDS}")
@@ -108,6 +130,15 @@ class Fault:
         if math.isinf(self.duration) and self.kind != "disk_fail":
             raise ValueError(f"only disk_fail may be permanent; "
                              f"{self.kind} needs a finite duration")
+        if self.kind in PARTITION_KINDS:
+            if bool(self.rack) == bool(self.nodes):
+                raise ValueError(f"{self.kind} needs exactly one of "
+                                 "rack= or nodes=")
+            if self.kind == "switch_down" and not self.rack:
+                raise ValueError("switch_down severs a whole rack; "
+                                 "use partition for arbitrary node sets")
+        elif self.rack or self.nodes:
+            raise ValueError(f"rack/nodes only apply to {PARTITION_KINDS}")
         if self.kind == "nic" and not 0 < self.factor <= 1:
             # factor 0 would wedge in-flight store-and-forward messages
             # whose serialisation time is already committed.
@@ -133,6 +164,10 @@ class Fault:
             out["slowdown"] = self.slowdown
         if self.kind == "packet_loss":
             out["loss"] = self.loss
+        if self.rack:
+            out["rack"] = self.rack
+        if self.nodes:
+            out["nodes"] = list(self.nodes)
         return out
 
 
@@ -181,6 +216,26 @@ def packet_loss(node: str, at: float, duration: float,
                  loss=loss)
 
 
+def rack_partition(rack: str, at: float, duration: float) -> Fault:
+    """Sever ``rack`` from the rest of the fabric for ``duration`` s."""
+    return Fault(kind="partition", node=rack, at=at, duration=duration,
+                 rack=rack)
+
+
+def node_set_partition(nodes: Iterable[str], at: float,
+                       duration: float, label: str = "") -> Fault:
+    """Sever an arbitrary node set from everything else."""
+    members = tuple(nodes)
+    return Fault(kind="partition", node=label or ",".join(members),
+                 at=at, duration=duration, nodes=members)
+
+
+def switch_down(rack: str, at: float, duration: float) -> Fault:
+    """Kill ``rack``'s ToR switch: its members lose all connectivity."""
+    return Fault(kind="switch_down", node=rack, at=at, duration=duration,
+                 rack=rack)
+
+
 @dataclass(frozen=True)
 class RecurringFault:
     """A seeded stochastic fault process on one node.
@@ -208,6 +263,9 @@ class RecurringFault:
         if self.kind == "disk_fail":
             raise ValueError("disk_fail is permanent and cannot recur; "
                              "schedule it as a one-shot fault")
+        if self.kind in PARTITION_KINDS:
+            raise ValueError(f"{self.kind} severs a node *set* and must "
+                             "be scheduled as a one-shot fault")
         if not self.node:
             raise ValueError("a fault needs a victim node name")
         if self.mtbf_s <= 0 or self.mttr_s <= 0:
@@ -265,11 +323,27 @@ class FaultPlan:
         return len(self.faults) + len(self.recurring)
 
     def nodes(self) -> List[str]:
-        """Every node the plan targets (deduplicated, plan order)."""
+        """Every node the plan targets (deduplicated, plan order).
+
+        Partition faults contribute their explicit ``nodes`` sets; a
+        rack label is not a node and is resolved against the topology
+        at injection time instead.
+        """
         seen: List[str] = []
         for item in (*self.faults, *self.recurring):
-            if item.node not in seen:
-                seen.append(item.node)
+            names = (item.nodes if getattr(item, "rack", "")
+                     or getattr(item, "nodes", ()) else (item.node,))
+            for name in names:
+                if name not in seen:
+                    seen.append(name)
+        return seen
+
+    def racks(self) -> List[str]:
+        """Every rack the plan severs (deduplicated, plan order)."""
+        seen: List[str] = []
+        for fault in self.faults:
+            if fault.rack and fault.rack not in seen:
+                seen.append(fault.rack)
         return seen
 
     def check_against(self, known_nodes: Iterable[str]) -> None:
@@ -280,6 +354,19 @@ class FaultPlan:
             raise ValueError(
                 f"fault plan targets unknown node(s) {missing}; "
                 f"cluster has {sorted(known)}")
+
+    def without_kinds(self, kinds: Iterable[str]) -> "FaultPlan":
+        """A copy with every fault of the given kinds stripped.
+
+        The durability acceptance check runs the committed day once
+        with partitions and once with ``without_kinds(PARTITION_KINDS)``
+        as the no-partition control for downtime accounting.
+        """
+        drop = set(kinds)
+        return FaultPlan(
+            faults=tuple(f for f in self.faults if f.kind not in drop),
+            recurring=tuple(r for r in self.recurring
+                            if r.kind not in drop))
 
     # -- (de)serialisation for --fault-plan FILE -------------------------
 

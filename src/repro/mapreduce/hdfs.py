@@ -1,21 +1,31 @@
-"""HDFS model: block placement, replication, locality, block I/O.
+"""HDFS model: block placement, replication, locality, block I/O, repair.
 
 Files are split into blocks; each block's replicas land on distinct
-datanodes (first replica spread round-robin, the rest random).  Reads
-are local disk when a replica lives on the reading node, otherwise a
-remote disk read plus a fluid network flow.  Writes pipeline to each
-replica.  The paper's replication choices (2 on Edison, 1 on Dell) were
-made so ~95 % of map tasks are data-local on both clusters.
+datanodes (first replica spread round-robin, the rest random — or, with
+``rack_aware`` placement, spread across racks the way the real
+NameNode's ``BlockPlacementPolicyDefault`` survives a whole-rack loss).
+Reads are local disk when a replica lives on the reading node,
+otherwise a remote disk read plus a fluid network flow from a same-rack
+replica when one exists (crossing the trunk only when it must).  Writes
+pipeline to each replica.  The paper's replication choices (2 on
+Edison, 1 on Dell) were made so ~95 % of map tasks are data-local on
+both clusters.
+
+:class:`ReplicationMonitor` (opt-in via :meth:`Hdfs.enable_repair`) is
+the NameNode's repair loop: on a confirmed node loss it finds every
+under-replicated block and re-replicates it over the real topology
+through a shared throttle segment, so repair traffic contends with
+itself the way ``dfs.datanode.balance.bandwidthPerSec`` makes it.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.server import Server
-from ..net import Topology
+from ..net import Segment, Topology
 from ..sim import Simulation
 from ..workloads import Dataset
 
@@ -29,9 +39,13 @@ class BlockUnavailable(Exception):
     """
 
 
-@dataclass(frozen=True)
+@dataclass
 class HdfsBlock:
-    """One block of one file."""
+    """One block of one file.
+
+    Mutable for one reason only: the repair loop re-homes replicas.
+    Everything else treats the instance as read-only.
+    """
 
     block_id: int
     size_bytes: int
@@ -52,7 +66,8 @@ class Hdfs:
 
     def __init__(self, sim: Simulation, topology: Topology,
                  datanodes: Sequence[Server], block_bytes: int,
-                 replication: int, rng: random.Random):
+                 replication: int, rng: random.Random,
+                 rack_aware: bool = False):
         if not datanodes:
             raise ValueError("HDFS needs at least one datanode")
         if replication < 1:
@@ -68,7 +83,16 @@ class Hdfs:
         self.block_bytes = block_bytes
         self.replication = replication
         self.rng = rng
+        self.rack_aware = rack_aware
         self.files: Dict[str, HdfsFile] = {}
+        #: Every placed block, by id — the NameNode's block map, walked
+        #: by the repair loop and the durability ledger.
+        self.blocks: Dict[int, HdfsBlock] = {}
+        self.monitor: Optional["ReplicationMonitor"] = None
+        #: Remote-read byte counters for the locality accounting: reads
+        #: served inside the reader's rack vs across the trunk/ToR.
+        self.same_rack_read_bytes = 0.0
+        self.cross_rack_read_bytes = 0.0
         self._next_block = 0
         self._rr = 0
 
@@ -79,10 +103,31 @@ class Hdfs:
         self._rr += 1
         replicas = [primary]
         others = [n for n in self._node_order if n != primary]
-        replicas.extend(self.rng.sample(others, self.replication - 1))
+        if self.rack_aware and self.replication > 1:
+            replicas.extend(self._rack_aware_tail(primary, others))
+        else:
+            replicas.extend(self.rng.sample(others, self.replication - 1))
         block = HdfsBlock(self._next_block, size, tuple(replicas))
+        self.blocks[block.block_id] = block
         self._next_block += 1
         return block
+
+    def _rack_aware_tail(self, primary: str, others: List[str]) -> List[str]:
+        """Secondary replicas spread across racks, NameNode-style: the
+        second copy leaves the primary's rack when it can, further
+        copies prefer racks not yet holding one."""
+        rack_of = self.topology.rack_of
+        tail: List[str] = []
+        covered = {rack_of(primary)}
+        pool = list(others)
+        for _ in range(self.replication - 1):
+            off_rack = [n for n in pool if rack_of(n) not in covered]
+            pick_from = off_rack or pool
+            choice = pick_from[self.rng.randrange(len(pick_from))]
+            tail.append(choice)
+            covered.add(rack_of(choice))
+            pool.remove(choice)
+        return tail
 
     def stage_file(self, name: str, size_bytes: int) -> HdfsFile:
         """Register a pre-existing input file (no I/O simulated)."""
@@ -114,29 +159,59 @@ class Hdfs:
         return (faults is None
                 or (faults.is_up(name) and not faults.disk_failed(name)))
 
-    def _live_replicas(self, block: HdfsBlock) -> Tuple[str, ...]:
-        """Replicas currently readable (all of them when fault-free)."""
+    def _live_replicas(self, block: HdfsBlock,
+                       reader: Optional[str] = None) -> Tuple[str, ...]:
+        """Replicas currently readable (all of them when fault-free).
+
+        With a ``reader`` given, replicas the reader cannot *reach*
+        (severed by a partition) are excluded too — HDFS fails fast at
+        replica selection rather than stalling into a black hole.
+        """
         if self.sim.faults is None:
             return block.replicas
-        return tuple(r for r in block.replicas if self._alive(r))
+        live = tuple(r for r in block.replicas if self._alive(r))
+        if reader is None or len(self.topology._cuts) == 0:
+            return live
+        reachable = self.topology.reachable
+        return tuple(r for r in live if reachable(reader, r))
 
     def read_block(self, node: str, block: HdfsBlock):
         """Process generator: read one block from ``node``.
 
         Local reads hit the node's own disk; remote reads stream from a
-        random replica's disk through the network (a fluid flow).  Dead
-        replicas are skipped — the reader falls back to a surviving one
-        — and :class:`BlockUnavailable` is raised when none remain.
+        replica's disk through the network (a fluid flow), preferring a
+        replica inside the reader's rack before crossing the ToR/trunk.
+        Dead or unreachable replicas are skipped — the reader falls
+        back to a surviving one — and :class:`BlockUnavailable` is
+        raised when none remain.  One exception: when every remaining
+        copy is *intact but severed* by an active partition, the read
+        stalls until a heal and retries instead of raising — the data
+        still exists, the DFSClient just cannot get at it yet; only a
+        block with no intact copy anywhere is declared gone.
         """
-        replicas = self._live_replicas(block)
-        if not replicas:
-            raise BlockUnavailable(
-                f"block {block.block_id}: all {len(block.replicas)} "
-                f"replica(s) are on dead nodes or failed disks")
+        replicas = self._live_replicas(block, reader=node)
+        while not replicas:
+            if not (self.topology._cuts and self.intact_replicas(block)):
+                raise BlockUnavailable(
+                    f"block {block.block_id}: all {len(block.replicas)} "
+                    f"replica(s) are dead, diskless or unreachable from "
+                    f"{node}")
+            yield self.topology._heal_barrier()
+            replicas = self._live_replicas(block, reader=node)
         if node in replicas:
             yield from self.datanodes[node].storage.read(block.size_bytes)
             return
-        source = self.rng.choice(replicas)
+        rack_of = self.topology.rack_of
+        reader_rack = rack_of(node)
+        same_rack = tuple(r for r in replicas
+                          if rack_of(r) == reader_rack)
+        # Same-length pools draw identically from the stream, so the
+        # rack preference is invisible in single-rack layouts.
+        source = self.rng.choice(same_rack or replicas)
+        if rack_of(source) == reader_rack:
+            self.same_rack_read_bytes += block.size_bytes
+        else:
+            self.cross_rack_read_bytes += block.size_bytes
         read = self.sim.process(
             self.datanodes[source].storage.read(block.size_bytes))
         flow = self.topology.network.start_flow(
@@ -163,6 +238,9 @@ class Hdfs:
         others = [n for n in self._node_order if n != node]
         if self.sim.faults is not None:
             others = [n for n in others if self._alive(n)]
+            if len(self.topology._cuts):
+                reachable = self.topology.reachable
+                others = [n for n in others if reachable(node, n)]
         remote_copies = self.replication - 1 if local_ok else self.replication
         for target in self.rng.sample(
                 others, min(remote_copies, len(others))):
@@ -178,3 +256,255 @@ class Hdfs:
         yield self.topology.network.start_flow(
             self.topology.path(src, dst), nbytes)
         yield from self.datanodes[dst].storage.write(nbytes, buffered=True)
+
+    # -- block health (the durability ledger's raw material) --------------
+
+    def intact_replicas(self, block: HdfsBlock) -> Tuple[str, ...]:
+        """Homes whose *data* survives — only ``disk_fail`` destroys
+        bytes; a crashed or partitioned node keeps its copy."""
+        faults = self.sim.faults
+        if faults is None:
+            return block.replicas
+        return tuple(r for r in block.replicas
+                     if not faults.disk_failed(r))
+
+    def readable_replicas(self, block: HdfsBlock) -> Tuple[str, ...]:
+        """Intact homes that are also up and reachable right now."""
+        faults = self.sim.faults
+        if faults is None:
+            return block.replicas
+        return tuple(r for r in block.replicas
+                     if faults.is_up(r) and faults.is_reachable(r)
+                     and not faults.disk_failed(r))
+
+    def health_summary(self) -> Dict[str, int]:
+        """Block census: created == live + lost is the conservation
+        invariant the durability ledger asserts at every sample.
+
+        ``unavailable`` splits out the live blocks no reader can reach
+        *right now* (every intact copy dead or severed) — the
+        rack-oblivious-placement failure mode a single ``switch_down``
+        exposes: not data loss, but downtime counted in block-seconds.
+        """
+        live = lost = under = unavailable = 0
+        for block in self.blocks.values():
+            if self.intact_replicas(block):
+                live += 1
+                readable = len(self.readable_replicas(block))
+                if readable < self.replication:
+                    under += 1
+                if readable == 0:
+                    unavailable += 1
+            else:
+                lost += 1
+        return {"blocks_created": len(self.blocks), "blocks_live": live,
+                "blocks_lost": lost, "under_replicated": under,
+                "unavailable": unavailable}
+
+    def lost_block_ids(self) -> List[int]:
+        return [b.block_id for b in self.blocks.values()
+                if not self.intact_replicas(b)]
+
+    # -- repair (opt-in) --------------------------------------------------
+
+    def enable_repair(self, confirm_s: float = 2.0,
+                      throttle_bps: float = 200e6, max_streams: int = 2,
+                      ledger=None, detector=None) -> "ReplicationMonitor":
+        """Arm the NameNode-style re-replication loop (off by default)."""
+        if self.monitor is not None:
+            raise RuntimeError("repair already enabled")
+        self.monitor = ReplicationMonitor(
+            self, confirm_s=confirm_s, throttle_bps=throttle_bps,
+            max_streams=max_streams, ledger=ledger, detector=detector)
+        return self.monitor
+
+
+class ReplicationMonitor:
+    """The NameNode's repair loop: confirm loss, re-replicate, throttle.
+
+    Listens on the fault plane; a ``down`` edge on a datanode starts a
+    confirmation window (fixed ``confirm_s``, or the phi-accrual
+    detector when one is armed) so a node that blips back is never
+    repaired around.  Confirmed losses enqueue every under-replicated
+    block; repairs run at most ``max_streams`` at a time and every
+    repair flow carries the shared throttle segment, so repair traffic
+    self-contends like ``dfs.datanode.balance.bandwidthPerSec`` instead
+    of strangling the job's shuffle.
+
+    Spawns no processes until a fault actually fires — an armed monitor
+    on a quiet cluster is bit-invisible.
+    """
+
+    #: Fault kinds whose ``down`` edge can cost replicas.
+    LOSS_KINDS = ("crash", "power", "partition", "switch_down",
+                  "disk_fail")
+
+    def __init__(self, hdfs: Hdfs, confirm_s: float = 2.0,
+                 throttle_bps: float = 200e6, max_streams: int = 2,
+                 ledger=None, detector=None):
+        if confirm_s < 0:
+            raise ValueError("confirm_s must be >= 0")
+        if throttle_bps <= 0:
+            raise ValueError("throttle_bps must be > 0")
+        if max_streams < 1:
+            raise ValueError("max_streams must be >= 1")
+        faults = hdfs.sim.faults
+        if faults is None:
+            raise RuntimeError("repair needs a FaultInjector attached "
+                               "(there is nothing to repair without one)")
+        self.hdfs = hdfs
+        self.sim = hdfs.sim
+        self.faults = faults
+        self.confirm_s = confirm_s
+        self.max_streams = max_streams
+        self.ledger = ledger
+        self.detector = detector
+        self.throttle = Segment("hdfs.repair.throttle", throttle_bps / 8.0)
+        self._queue: List[int] = []
+        self._queued: set = set()
+        self._deferred: List[int] = []
+        self._confirming: set = set()
+        self._running = False
+        self.repairs_completed = 0
+        self.repair_bytes = 0.0
+        self.repairs_deferred = 0
+        faults.add_listener(self._on_fault_event)
+
+    # -- fault plane hooks ------------------------------------------------
+
+    def _on_fault_event(self, event: str, node: str, kind: str) -> None:
+        if node not in self.hdfs.datanodes:
+            return
+        if event == "down" and kind in self.LOSS_KINDS:
+            if node not in self._confirming:
+                self._confirming.add(node)
+                self.sim.process(self._confirm_loss(node, kind),
+                                 name=f"hdfs-confirm-{node}")
+        elif event == "up" and self._deferred:
+            # A returning node may be the missing source or target.
+            self._requeue_deferred()
+
+    def _node_healthy(self, node: str) -> bool:
+        return (self.faults.is_up(node)
+                and self.faults.is_reachable(node)
+                and not self.faults.disk_failed(node))
+
+    def _confirm_loss(self, node: str, kind: str):
+        try:
+            if kind == "disk_fail":
+                # The datanode reports its own dead disk — no silence
+                # to disambiguate, confirmation is immediate.
+                pass
+            elif self.detector is not None:
+                suspected = yield from self.detector.wait_suspect(
+                    node, healthy=lambda: self._node_healthy(node))
+                if not suspected:
+                    return
+            elif self.confirm_s > 0:
+                yield self.sim.timeout(self.confirm_s)
+        finally:
+            self._confirming.discard(node)
+        if self._node_healthy(node):
+            return  # it blipped back inside the window
+        self._scan_node(node)
+
+    def _scan_node(self, node: str) -> None:
+        for block in self.hdfs.blocks.values():
+            if (node in block.replicas
+                    and block.block_id not in self._queued
+                    and self._needs_repair(block)):
+                self._queue.append(block.block_id)
+                self._queued.add(block.block_id)
+        self._kick()
+
+    def _needs_repair(self, block: HdfsBlock) -> bool:
+        intact = self.hdfs.intact_replicas(block)
+        if not intact:
+            return False  # lost for good; repair cannot invent bytes
+        return len(self.hdfs.readable_replicas(block)) < \
+            self.hdfs.replication
+
+    # -- the repair pipeline ----------------------------------------------
+
+    def _kick(self) -> None:
+        if self._queue and not self._running:
+            self._running = True
+            self.sim.process(self._run(), name="hdfs-repair")
+
+    def _requeue_deferred(self) -> None:
+        while self._deferred:
+            self._queue.append(self._deferred.pop(0))
+        self._kick()
+
+    def _run(self):
+        try:
+            while self._queue:
+                batch, self._queue = (self._queue[:self.max_streams],
+                                      self._queue[self.max_streams:])
+                procs = [self.sim.process(
+                    self._repair_block(self.hdfs.blocks[bid]),
+                    name=f"hdfs-repair-{bid}") for bid in batch]
+                yield self.sim.all_of(procs)
+        finally:
+            self._running = False
+
+    def _pick_target(self, block: HdfsBlock) -> Optional[str]:
+        """First healthy non-replica node, preferring uncovered racks
+        when placement is rack-aware.  Deterministic: no RNG, so a
+        repair history replays exactly from the run seed."""
+        rack_of = self.hdfs.topology.rack_of
+        covered = {rack_of(r) for r in self.hdfs.readable_replicas(block)}
+        candidates = [n for n in self.hdfs._node_order
+                      if n not in block.replicas
+                      and self._node_healthy(n)]
+        if self.hdfs.rack_aware:
+            for node in candidates:
+                if rack_of(node) not in covered:
+                    return node
+        return candidates[0] if candidates else None
+
+    def _repair_block(self, block: HdfsBlock):
+        bid = block.block_id
+        if not self._needs_repair(block):
+            self._queued.discard(bid)
+            return
+        readable = self.hdfs.readable_replicas(block)
+        target = self._pick_target(block)
+        if not readable or target is None:
+            # No live source or no room to put the copy: park the block
+            # until an "up" edge makes repair possible again.
+            self._deferred.append(bid)
+            self.repairs_deferred += 1
+            return
+        source = readable[0]
+        started = self.sim.now
+        read = self.sim.process(
+            self.hdfs.datanodes[source].storage.read(block.size_bytes))
+        path = self.hdfs.topology.path(source, target) + [self.throttle]
+        flow = self.hdfs.topology.network.start_flow(path,
+                                                     block.size_bytes)
+        yield self.sim.all_of([read, flow])
+        yield from self.hdfs.datanodes[target].storage.write(
+            block.size_bytes, buffered=True)
+        # Re-home: keep every intact copy, invalidate one stale home if
+        # the new copy would overshoot the target count.
+        faults = self.faults
+        keep = [r for r in block.replicas if not faults.disk_failed(r)]
+        if len(keep) + 1 > self.hdfs.replication:
+            now_readable = set(self.hdfs.readable_replicas(block))
+            for r in keep:
+                if r not in now_readable:
+                    keep.remove(r)
+                    break
+        block.replicas = tuple(keep) + (target,)
+        self._queued.discard(bid)
+        self.repairs_completed += 1
+        self.repair_bytes += block.size_bytes
+        seconds = self.sim.now - started
+        if self.ledger is not None:
+            self.ledger.on_repair(block, source, target, seconds,
+                                  block.size_bytes)
+        if self.sim.trace is not None:
+            self.sim.trace.complete("hdfs.repair", started,
+                                    category="hdfs", node=target,
+                                    block=bid, source=source)

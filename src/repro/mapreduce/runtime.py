@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 from ..cluster import Cluster, hadoop_cluster
 from ..core import paperdata as paper
+from ..faults.models import FaultCause, PARTITION_KINDS
 from ..hardware import ServerSpec
 from ..resilience.config import ResilienceConfig
 from ..resilience.ledger import ResilienceLedger
@@ -208,7 +209,8 @@ class JobRunner:
                  edison_spec: Optional[ServerSpec] = None,
                  master_spec: Optional[ServerSpec] = None,
                  trace=None,
-                 resilience: Optional[ResilienceConfig] = None):
+                 resilience: Optional[ResilienceConfig] = None,
+                 racks: int = 0):
         self.platform = platform
         self.slaves = slaves
         self.config = config if config is not None \
@@ -220,6 +222,8 @@ class JobRunner:
             kwargs["edison_spec"] = edison_spec
         if master_spec is not None:
             kwargs["master_spec"] = master_spec
+        if racks:
+            kwargs["racks"] = racks
         self.cluster: Cluster = hadoop_cluster(self.sim, platform, slaves,
                                                **kwargs)
         self.slave_servers = self.cluster.metered_servers
@@ -248,6 +252,17 @@ class JobRunner:
             self.resilience_ledger = ResilienceLedger()
             if self.resilience.retries:
                 self._retry_rng = self.rng.stream("resilience.retry")
+        # Partition-tolerance state (plain containers: no RNG, no
+        # processes — a run that never partitions is bit-identical).
+        # The phi detector and ledger are armed by repro.durability's
+        # attach_job; they stay None otherwise.
+        self._phi = None
+        self.durability_ledger = None
+        self._zombies: Dict[str, List] = {}
+        self._partition_expired: set = set()
+        self.partition_counters = {"zombies_started": 0,
+                                   "duplicate_kills": 0,
+                                   "reregistered": 0}
         self._reserve_daemon_memory()
 
     def _reserve_daemon_memory(self) -> None:
@@ -421,6 +436,9 @@ class JobRunner:
 
     def _on_fault_event(self, event: str, node: str, kind: str) -> None:
         """Fault-injector listener: react to node down/up edges."""
+        if kind in PARTITION_KINDS:
+            self._on_partition_event(event, node, kind)
+            return
         if kind not in ("crash", "power"):
             return
         if event == "up":
@@ -452,6 +470,104 @@ class JobRunner:
                                recovery_from=node, fixed_file=hdfs_file,
                                counts=counts),
                 name=f"remap-{node}")
+
+    # -- split-brain: partitions and their reconciliation ------------------
+    #
+    # A partitioned node is *alive*: its attempts keep executing on the
+    # far side while the ResourceManager's side hears only silence.
+    # Nothing happens at cut time — expiry (fixed heartbeats, or the
+    # phi-accrual detector when armed) decides when this side gives up,
+    # and only then does the majority blacklist the node, invalidate
+    # its map output and re-execute.  The original attempt keeps
+    # burning the minority node's CPU as a *zombie* duplicate until the
+    # heal-time reconciliation kills it and re-registers the survivor —
+    # the work was never double-counted because zombies never report.
+
+    def _on_partition_event(self, event: str, node: str,
+                            kind: str) -> None:
+        if node not in self.yarn.nodes:
+            return
+        if event == "down":
+            if self._active is None:
+                return
+            spec, state = self._active
+            self.sim.process(
+                self._expire_partitioned(spec, state, node, kind),
+                name=f"expire-{node}")
+            return
+        # Heal: kill duplicate attempts, then re-register the survivor.
+        for process, started in self._zombies.pop(node, ()):
+            if process.is_alive:
+                process.interrupt(FaultCause("reconcile", node))
+                self.partition_counters["duplicate_kills"] += 1
+                self._charge_split_brain(node, self.sim.now - started)
+        if node in self._partition_expired:
+            self._partition_expired.discard(node)
+            self.yarn.mark_node_up(node)
+            self.partition_counters["reregistered"] += 1
+
+    def _expire_partitioned(self, spec: JobSpec, state: "_JobState",
+                            node: str, kind: str):
+        """RM-side conviction of a silent-but-alive node."""
+        faults = self.sim.faults
+        if self._phi is not None:
+            suspected = yield from self._phi.wait_suspect(
+                node, healthy=lambda: (faults.is_reachable(node)
+                                       and faults.is_up(node)))
+            if not suspected:
+                return
+        else:
+            yield NM_EXPIRY_HEARTBEATS * self.config.heartbeat_s
+        if faults.is_reachable(node):
+            return   # healed inside the liveness window; never expired
+        self.yarn.mark_node_down(node)
+        self._partition_expired.add(node)
+        # This side stops trusting the node's completed map output (it
+        # is unreachable for shuffle) and re-executes on the majority.
+        lost_files, counts = state.lose_node(node)
+        for process in faults.bound_processes(node):
+            if process.is_alive:
+                process.interrupt(FaultCause(kind, node))
+        for hdfs_file in lost_files:
+            self.sim.process(
+                self._map_task(spec, state, None, state.map_factor,
+                               recovery_from=node, fixed_file=hdfs_file,
+                               counts=counts),
+                name=f"remap-{node}")
+
+    def _spawn_zombie(self, node: str) -> None:
+        """The partitioned side's copy of an interrupted attempt."""
+        self.partition_counters["zombies_started"] += 1
+        process = self.sim.process(self._zombie_attempt(node),
+                                   name=f"zombie-{node}")
+        self._zombies.setdefault(node, []).append((process, self.sim.now))
+
+    def _zombie_attempt(self, node: str):
+        """Burn the minority node's CPU until reconciliation kills us.
+
+        Models the orphaned container: it finishes its split, fails to
+        report to an AM it cannot reach, and retries — so the node
+        stays busy (and its power draw honest) for the whole partition.
+        Zombies never touch job state: no output recorded, no counter
+        advanced, hence no double-counted work.
+        """
+        faults = self.sim.faults
+        process = self.sim.active_process
+        faults.bind(node, process)
+        try:
+            while True:
+                yield from self._cpu(node, C.JVM_START_MI)
+        except Interrupt:
+            return
+        finally:
+            faults.unbind(node, process)
+
+    def _charge_split_brain(self, node: str, seconds: float) -> None:
+        if self.durability_ledger is None:
+            return
+        server = self.cluster.servers[node]
+        watts = ResilienceLedger.marginal_vcore_watts(server)
+        self.durability_ledger.charge("split_brain", node, seconds, watts)
 
     def _job(self, spec: JobSpec, state: "_JobState",
              input_files: List):
@@ -610,6 +726,13 @@ class JobRunner:
                     break
                 # The node died under the attempt; the retry allocates
                 # on a surviving node and is not charged as a failure.
+                # A *partition* kill is different: the node is alive on
+                # the far side, so the orphaned attempt lives on as a
+                # zombie duplicate until heal-time reconciliation.
+                cause = exc.cause
+                if (isinstance(cause, FaultCause)
+                        and cause.kind in PARTITION_KINDS):
+                    self._spawn_zombie(cause.node)
                 state.failed_attempts += 1
                 self._trace_attempt("map", grant.node, attempt_start,
                                     launches - 1, ok=False, killed=True,

@@ -4,10 +4,10 @@ from .flows import Flow, FlowNetwork, Segment
 from .tcp import (
     SYN_RETRY_DELAYS, ConnectionStats, ConnectTimeout, TcpListener, exchange,
 )
-from .topology import TRUNK_BPS, Topology
+from .topology import NetworkUnreachable, ROOM_RACKS, TRUNK_BPS, Topology
 
 __all__ = [
     "ConnectTimeout", "ConnectionStats", "Flow", "FlowNetwork",
-    "SYN_RETRY_DELAYS", "Segment", "TRUNK_BPS", "TcpListener", "Topology",
-    "exchange",
+    "NetworkUnreachable", "ROOM_RACKS", "SYN_RETRY_DELAYS", "Segment",
+    "TRUNK_BPS", "TcpListener", "Topology", "exchange",
 ]

@@ -14,7 +14,7 @@ trunk, and produces the segment path any bulk flow must traverse.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core import paperdata as paper
 from ..hardware.server import Server
@@ -24,20 +24,48 @@ from .flows import FlowNetwork, Segment
 #: Capacity of the single uplink between the two rooms (bytes/s).
 TRUNK_BPS = 1e9
 
+#: Rack labels that denote a whole room (the legacy two-room layout).
+ROOM_RACKS = ("edison-room", "dell-room")
+
+
+class NetworkUnreachable(Exception):
+    """No route between two endpoints while a cut is severed.
+
+    Raised only by callers that explicitly ask for fail-fast semantics
+    (:meth:`Topology.check_reachable`); the default transport behaviour
+    under a partition is to *stall* until the cut heals, which the
+    surrounding timeouts then convert into application-level failures —
+    the same shape real TCP traffic takes across a dead trunk.
+    """
+
 
 class Topology:
     """Registry of servers, their NIC segments and the inter-room trunk."""
 
-    def __init__(self, sim: Simulation, trunk_bps: float = TRUNK_BPS):
+    def __init__(self, sim: Simulation, trunk_bps: float = TRUNK_BPS,
+                 tor_bps: float = TRUNK_BPS):
         self.sim = sim
         self.network = FlowNetwork(sim)
         self._tx: Dict[str, Segment] = {}
         self._rx: Dict[str, Segment] = {}
         self._rack: Dict[str, str] = {}
+        self._room: Dict[str, str] = {}
         self._servers: Dict[str, Server] = {}
         trunk_Bps = trunk_bps / 8.0
         self.trunk_up = Segment("trunk.edison->dell", trunk_Bps)
         self.trunk_down = Segment("trunk.dell->edison", trunk_Bps)
+        # Named (non-room) racks get an explicit ToR uplink/downlink
+        # pair, created lazily so the legacy two-room layout never pays
+        # for them.
+        self._tor_Bps = tor_bps / 8.0
+        self._tor_up: Dict[str, Segment] = {}
+        self._tor_down: Dict[str, Segment] = {}
+        # Reachability overlay: cut_id -> (mode, frozenset of far-side
+        # nodes).  Empty in every run that injects no partition, which
+        # keeps the hot paths below to a single dict-truthiness test.
+        self._cuts: Dict[int, Tuple[str, frozenset]] = {}
+        self._cut_seq = 0
+        self._heal_event = None
         # (src, dst) memo tables: the web tier calls rtt()/message() per
         # request, and the answers never change once servers are added.
         self._rtt_cache: Dict[tuple, float] = {}
@@ -53,11 +81,16 @@ class Topology:
         self._rtt_cache.clear()
         self._path_cache.clear()
         self._msg_cache.clear()
-        rack = rack or ("edison-room" if server.platform == "edison"
-                        else "dell-room")
+        room = ("edison-room" if server.platform == "edison"
+                else "dell-room")
+        rack = rack or room
         line_Bps = server.nic.spec.bytes_per_second
         self._servers[server.name] = server
         self._rack[server.name] = rack
+        self._room[server.name] = room
+        if rack not in ROOM_RACKS and rack not in self._tor_up:
+            self._tor_up[rack] = Segment(f"{rack}.tor-up", self._tor_Bps)
+            self._tor_down[rack] = Segment(f"{rack}.tor-down", self._tor_Bps)
         self._tx[server.name] = Segment(
             f"{server.name}.tx", line_Bps, nic=server.nic, nic_direction="tx")
         self._rx[server.name] = Segment(
@@ -78,6 +111,17 @@ class Topology:
     def rack_of(self, name: str) -> str:
         return self._rack[name]
 
+    def racks(self) -> List[str]:
+        """Distinct rack labels, in server-registration order."""
+        seen: Dict[str, None] = {}
+        for rack in self._rack.values():
+            seen.setdefault(rack)
+        return list(seen)
+
+    def rack_members(self, rack: str) -> List[str]:
+        """Servers registered under ``rack``, in registration order."""
+        return [name for name, r in self._rack.items() if r == rack]
+
     def path(self, src: str, dst: str) -> List[Segment]:
         """Segments a flow from ``src`` to ``dst`` must traverse."""
         key = (src, dst)
@@ -87,13 +131,89 @@ class Topology:
                 segments = []  # loopback: no network segments involved
             else:
                 segments = [self._tx[src]]
-                if self._rack[src] != self._rack[dst]:
-                    segments.append(
-                        self.trunk_down if self._rack[dst] == "edison-room"
-                        else self.trunk_up)
+                src_rack, dst_rack = self._rack[src], self._rack[dst]
+                if src_rack != dst_rack:
+                    tor = self._tor_up.get(src_rack)
+                    if tor is not None:
+                        segments.append(tor)
+                    if self._room[src] != self._room[dst]:
+                        segments.append(
+                            self.trunk_down
+                            if self._room[dst] == "edison-room"
+                            else self.trunk_up)
+                    tor = self._tor_down.get(dst_rack)
+                    if tor is not None:
+                        segments.append(tor)
                 segments.append(self._rx[dst])
             self._path_cache[key] = segments
         return segments
+
+    # ------------------------------------------------------------------
+    # Reachability overlay (partitions and switch failures)
+    # ------------------------------------------------------------------
+
+    def sever(self, nodes: Iterable[str], isolate: bool = False) -> int:
+        """Cut the fabric around ``nodes``; returns a cut id for heal().
+
+        With ``isolate=False`` the cut is a *partition*: traffic between
+        the named set and the rest of the cluster is severed but nodes
+        on the same side still talk to each other.  With ``isolate=True``
+        (a dead ToR switch) the named nodes lose all connectivity,
+        including to each other — every path through the switch is gone.
+        """
+        members = frozenset(nodes)
+        if not members:
+            raise ValueError("cannot sever an empty node set")
+        unknown = members - self._servers.keys()
+        if unknown:
+            raise ValueError(f"unknown servers in cut: {sorted(unknown)}")
+        self._cut_seq += 1
+        self._cuts[self._cut_seq] = (
+            "isolate" if isolate else "cut", members)
+        return self._cut_seq
+
+    def heal(self, cut_id: int) -> None:
+        """Remove a cut; wakes every transfer stalled on reachability."""
+        if cut_id not in self._cuts:
+            raise ValueError(f"unknown cut id {cut_id}")
+        del self._cuts[cut_id]
+        event, self._heal_event = self._heal_event, None
+        if event is not None and not event.triggered:
+            event.succeed()
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """True when no active cut separates ``src`` from ``dst``."""
+        if not self._cuts or src == dst:
+            return True
+        for mode, members in self._cuts.values():
+            if mode == "isolate":
+                if src in members or dst in members:
+                    return False
+            elif (src in members) != (dst in members):
+                return False
+        return True
+
+    def check_reachable(self, src: str, dst: str) -> None:
+        """Fail-fast probe: raise :class:`NetworkUnreachable` on a cut."""
+        if not self.reachable(src, dst):
+            raise NetworkUnreachable(f"{src} -> {dst}: path severed")
+
+    def _heal_barrier(self):
+        """An event fired at the next heal; shared by all stalled waits."""
+        if self._heal_event is None or self._heal_event.triggered:
+            self._heal_event = self.sim.event()
+        return self._heal_event
+
+    def wait_reachable(self, src: str, dst: str):
+        """Process generator: stall until ``src`` can reach ``dst``.
+
+        Models TCP retransmitting into a black hole: the conversation
+        makes no progress, holds no wire resources, and resumes the
+        instant the route returns.  Callers that would rather fail fast
+        use :meth:`check_reachable` instead.
+        """
+        while not self.reachable(src, dst):
+            yield self._heal_barrier()
 
     def rtt(self, src: str, dst: str) -> float:
         """Measured round-trip time between two servers (Section 4.4)."""
@@ -122,6 +242,8 @@ class Topology:
         across the path.  Loopback transfers cost memory-copy time only
         and are approximated as instantaneous at this layer.
         """
+        if self._cuts:
+            yield from self.wait_reachable(src, dst)
         latency = self.one_way_latency(src, dst)
         if latency > 0:
             yield latency
@@ -147,6 +269,8 @@ class Topology:
         """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
+        if self._cuts:
+            yield from self.wait_reachable(src, dst)
         sim = self.sim
         plan = self._msg_cache.get((src, dst))
         if plan is None:

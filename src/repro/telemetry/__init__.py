@@ -29,14 +29,16 @@ bit-identical to an unmonitored one.
 from .export import (load_bundle, render_dashboard, save_bundle,
                      summary_lines, to_prometheus, write_dashboard,
                      write_prometheus)
-from .rules import (AbsenceRule, Alert, AlertManager, SpreadRule,
-                    ThresholdRule, default_rules)
+from .rules import (AbsenceRule, Alert, AlertManager,
+                    CorrelatedSilenceRule, SpreadRule, ThresholdRule,
+                    default_rules)
 from .scrapers import ClusterAgent, NodeAgent, Telemetry
 from .slo import Detection, DetectionReport, SloReport, SloSpec
 from .tsdb import TimeSeriesDB
 
 __all__ = [
-    "AbsenceRule", "Alert", "AlertManager", "ClusterAgent", "Detection",
+    "AbsenceRule", "Alert", "AlertManager", "ClusterAgent",
+    "CorrelatedSilenceRule", "Detection",
     "DetectionReport", "NodeAgent", "SloReport", "SloSpec", "SpreadRule",
     "Telemetry", "ThresholdRule", "TimeSeriesDB", "default_rules",
     "load_bundle", "render_dashboard", "save_bundle", "summary_lines",

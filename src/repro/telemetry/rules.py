@@ -107,6 +107,53 @@ class AbsenceRule:
 
 
 @dataclass(frozen=True)
+class CorrelatedSilenceRule(AbsenceRule):
+    """Fire when several nodes go silent *together*: silent but alive.
+
+    A lone stale heartbeat is the classic dead-node signature the
+    plain :class:`AbsenceRule` catches.  But when a rack's uplink is
+    severed, every member's series stops advancing within one scrape
+    of each other — the nodes are still burning power and (in the
+    split-brain window) still doing work, they just cannot push
+    samples.  This rule breaches only for stale series whose *last*
+    samples landed within ``correlation_s`` of at least
+    ``min_silent - 1`` other stale series, so it stays quiet for
+    isolated crashes and fires per-node for partitions.  The detection
+    report keys off the rule name to score dead-vs-unreachable
+    classification against the injector's ground truth.
+    """
+
+    min_silent: int = 2
+    correlation_s: float = 0.5
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.min_silent < 2:
+            raise ValueError("min_silent must be >= 2 (one silent node "
+                             "is AbsenceRule's job)")
+        if self.correlation_s <= 0:
+            raise ValueError("correlation_s must be > 0")
+
+    def breaches(self, db: TimeSeriesDB, now: float
+                 ) -> List[Tuple[str, float]]:
+        stale = []
+        for labels, series in db.select(self.metric):
+            if not series.times:
+                continue
+            silence = now - series.times[-1]
+            if silence > self.stale_s:
+                stale.append((labels.get("node", ""), series.times[-1],
+                              silence))
+        out = []
+        for node, last, silence in stale:
+            peers = sum(1 for _node, other, _s in stale
+                        if abs(other - last) <= self.correlation_s)
+            if peers >= self.min_silent:
+                out.append((node, silence))
+        return out
+
+
+@dataclass(frozen=True)
 class SpreadRule:
     """Fire when a metric's max-min spread across nodes is too wide.
 
@@ -266,10 +313,15 @@ class AlertManager:
 
 def default_rules(scrape_interval: float = 0.25,
                   latency_p95_s: Optional[float] = None,
-                  imbalance: float = 0.5) -> List:
+                  imbalance: float = 0.5,
+                  partitions: bool = False) -> List:
     """The stock rule set the CLI attaches with ``--telemetry``.
 
     * ``node_silent`` — a node agent missed ~2.5 scrapes (crash/power).
+    * ``nodes_unreachable`` — several agents went silent *together*
+      (rack/trunk partition symptom); only with ``partitions=True``, so
+      runs that never sever anything keep their alert history (and
+      pinned bundles) unchanged.
     * ``web_latency_high`` — mean web delay above the Table 7 band edge
       (only when a band is given).
     * ``cpu_imbalance`` — CPU utilisation spread across nodes beyond
@@ -282,6 +334,11 @@ def default_rules(scrape_interval: float = 0.25,
                    threshold=imbalance, window_s=4 * scrape_interval,
                    for_s=2 * scrape_interval),
     ]
+    if partitions:
+        rules.insert(1, CorrelatedSilenceRule(
+            name="nodes_unreachable", metric="up",
+            stale_s=2.5 * scrape_interval,
+            correlation_s=2 * scrape_interval))
     if latency_p95_s is not None:
         rules.append(ThresholdRule(
             name="web_latency_high", metric="web_mean_delay_s", op=">",

@@ -56,7 +56,12 @@ class NodeAgent:
         interval = self.telemetry.interval
         while until is None or sim.now <= until:
             faults = sim.faults
-            if faults is None or faults.is_up(self.node):
+            # A partitioned node is alive but its pushes never reach the
+            # central TSDB, so it goes silent exactly like a dead one —
+            # which is why dead-vs-unreachable needs the correlation
+            # rule, not a smarter agent.
+            if faults is None or (faults.is_up(self.node)
+                                  and faults.is_reachable(self.node)):
                 self.scrape(sim.now)
             yield sim.timeout(interval)
 

@@ -17,6 +17,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from ..faults.models import NODE_DOWN_KINDS, PARTITION_KINDS
+
+#: Which alert rules assert "silent but alive" rather than "dead".
+#: Anything not listed here is read as a dead-node claim.
+DEFAULT_RULE_CLASSES: Mapping[str, str] = {"nodes_unreachable": "unreachable"}
+
+
+def expected_class(kind: str) -> str:
+    """Ground-truth dead-vs-unreachable label for a fault kind.
+
+    ``"down"`` for kinds that stop the node, ``"unreachable"`` for
+    partitions (the node keeps running, its heartbeats just cannot get
+    out), and ``""`` for gray degradations the absence rules are not
+    expected to classify at all.
+    """
+    if kind in PARTITION_KINDS:
+        return "unreachable"
+    if kind in NODE_DOWN_KINDS:
+        return "down"
+    return ""
+
 
 @dataclass(frozen=True)
 class SloSpec:
@@ -164,13 +185,22 @@ class SloReport:
 
 @dataclass(frozen=True)
 class Detection:
-    """One injected fault and how the alerting plane saw it."""
+    """One injected fault and how the alerting plane saw it.
+
+    ``expected`` is the ground-truth dead-vs-unreachable label from the
+    fault kind (``""`` when the kind carries no expectation) and
+    ``observed`` is what the covering alerts claimed; a partition seen
+    only by ``node_silent`` is a *misclassification* — the operator
+    would have declared a live rack dead.
+    """
 
     kind: str
     node: str
     injected_at: float
     detected_at: Optional[float]
     rule: Optional[str]
+    expected: str = ""
+    observed: str = ""
 
     @property
     def detected(self) -> bool:
@@ -182,10 +212,18 @@ class Detection:
             return None
         return self.detected_at - self.injected_at
 
+    @property
+    def classified_ok(self) -> Optional[bool]:
+        """True/False when classification was expected and seen; else None."""
+        if not self.expected or not self.detected:
+            return None
+        return self.observed == self.expected
+
     def to_dict(self) -> Dict:
         return {"kind": self.kind, "node": self.node,
                 "injected_at": self.injected_at,
                 "detected_at": self.detected_at, "rule": self.rule,
+                "expected": self.expected, "observed": self.observed,
                 "time_to_detect": self.time_to_detect}
 
     @classmethod
@@ -193,7 +231,9 @@ class Detection:
         return cls(kind=data["kind"], node=data["node"],
                    injected_at=data["injected_at"],
                    detected_at=data.get("detected_at"),
-                   rule=data.get("rule"))
+                   rule=data.get("rule"),
+                   expected=data.get("expected", ""),
+                   observed=data.get("observed", ""))
 
 
 @dataclass(frozen=True)
@@ -203,23 +243,42 @@ class DetectionReport:
     detections: Tuple[Detection, ...] = ()
 
     @classmethod
-    def match(cls, fault_records, alerts) -> "DetectionReport":
+    def match(cls, fault_records, alerts,
+              rule_classes: Optional[Mapping[str, str]] = None,
+              class_window_s: float = 1.0) -> "DetectionReport":
         """Pair each fault record with the first alert that covers it.
 
-        An alert covers a fault when it names the same node and fired at
-        or after the injection time (and, for bounded faults, before the
-        fault ended plus nothing — late alerts still count as detections
-        with a large time-to-detect; the report makes slowness visible
-        rather than hiding it).  Each alert is consumed at most once so
-        two back-to-back faults need two firings.
+        An alert covers a fault when it names the fault's node — or,
+        for partition records that carry an explicit member set, any
+        node the record :meth:`~repro.faults.injector.FaultRecord.covers`
+        — and fired at or after the injection time (late alerts still
+        count as detections with a large time-to-detect; the report
+        makes slowness visible rather than hiding it).  Each alert is
+        consumed at most once so two back-to-back faults need two
+        firings.
+
+        Classification is scored separately from consumption: every
+        covering alert co-fired within ``class_window_s`` of the match
+        votes, and one "silent but alive" claim (``rule_classes`` maps
+        rule name to ``"unreachable"``) outvotes any number of
+        dead-node claims — exactly how an operator reads a page that
+        says both "8 nodes silent" and "they went silent together".
         """
+        classes = (DEFAULT_RULE_CLASSES if rule_classes is None
+                   else rule_classes)
+
+        def covers(record, name):
+            fn = getattr(record, "covers", None)
+            return fn(name) if fn is not None else name == record.node
+
         remaining = sorted(alerts, key=lambda a: a.fired_at)
         used = [False] * len(remaining)
         detections = []
         for record in sorted(fault_records, key=lambda r: r.start):
+            expected = expected_class(record.kind)
             hit = None
             for i, alert in enumerate(remaining):
-                if used[i] or alert.node != record.node:
+                if used[i] or not covers(record, alert.node):
                     continue
                 if alert.fired_at >= record.start:
                     hit = i
@@ -227,14 +286,22 @@ class DetectionReport:
             if hit is None:
                 detections.append(Detection(
                     kind=record.kind, node=record.node,
-                    injected_at=record.start, detected_at=None, rule=None))
+                    injected_at=record.start, detected_at=None, rule=None,
+                    expected=expected))
             else:
                 used[hit] = True
                 alert = remaining[hit]
+                votes = {classes.get(a.rule, "down") for a in remaining
+                         if covers(record, a.node)
+                         and record.start <= a.fired_at
+                         <= alert.fired_at + class_window_s}
+                observed = ("unreachable" if "unreachable" in votes
+                            else "down")
                 detections.append(Detection(
                     kind=record.kind, node=record.node,
                     injected_at=record.start,
-                    detected_at=alert.fired_at, rule=alert.rule))
+                    detected_at=alert.fired_at, rule=alert.rule,
+                    expected=expected, observed=observed))
         return cls(detections=tuple(detections))
 
     @property
@@ -248,11 +315,28 @@ class DetectionReport:
             return None
         return sum(ttds) / len(ttds)
 
+    @property
+    def misclassified(self) -> Tuple[Detection, ...]:
+        """Detections whose dead-vs-unreachable call was wrong."""
+        return tuple(d for d in self.detections
+                     if d.classified_ok is False)
+
+    @property
+    def classification_accuracy(self) -> Optional[float]:
+        """Fraction of scoreable detections classified correctly."""
+        scored = [d.classified_ok for d in self.detections
+                  if d.classified_ok is not None]
+        if not scored:
+            return None
+        return sum(scored) / len(scored)
+
     def to_dict(self) -> Dict:
         return {"detections": [d.to_dict() for d in self.detections],
                 "detected": self.detected_count,
                 "injected": len(self.detections),
-                "mean_time_to_detect": self.mean_time_to_detect}
+                "mean_time_to_detect": self.mean_time_to_detect,
+                "classification_accuracy": self.classification_accuracy,
+                "misclassified": len(self.misclassified)}
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "DetectionReport":
@@ -266,13 +350,22 @@ class DetectionReport:
                f"{len(self.detections)} faults detected)"]
         for d in self.detections:
             if d.detected:
+                suffix = ""
+                if d.classified_ok is True:
+                    suffix = f" [classified {d.observed}]"
+                elif d.classified_ok is False:
+                    suffix = (f" [MISCLASSIFIED as {d.observed}, "
+                              f"expected {d.expected}]")
                 out.append(f"  {d.kind} on {d.node} at t={d.injected_at:.2f}s"
                            f" -> {d.rule} fired at t={d.detected_at:.2f}s"
-                           f" (ttd {d.time_to_detect:.2f}s)")
+                           f" (ttd {d.time_to_detect:.2f}s){suffix}")
             else:
                 out.append(f"  {d.kind} on {d.node} at t={d.injected_at:.2f}s"
                            f" -> NOT DETECTED")
         mean = self.mean_time_to_detect
         if mean is not None:
             out.append(f"  mean time-to-detect: {mean:.2f}s")
+        accuracy = self.classification_accuracy
+        if accuracy is not None:
+            out.append(f"  dead-vs-unreachable accuracy: {accuracy:.0%}")
         return out

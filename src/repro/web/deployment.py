@@ -121,8 +121,12 @@ class WebServiceDeployment:
     def _on_fault_event(self, event: str, node: str, kind: str) -> None:
         # "admin" is the autoscaler's deliberate suspend/resume: a node
         # coming back from it reboots with a clean connection table
-        # exactly like one repaired after a crash or power fault.
-        if event != "up" or kind not in ("crash", "power", "admin"):
+        # exactly like one repaired after a crash or power fault.  A
+        # healed partition gets the same reset: clients abandoned every
+        # connection into the black hole long ago, so the server's
+        # half of the table is stale fiction, not state worth keeping.
+        if event != "up" or kind not in ("crash", "power", "admin",
+                                         "partition", "switch_down"):
             return
         for web in self.web_nodes:
             if web.server.name == node:

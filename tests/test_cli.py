@@ -205,3 +205,31 @@ def test_causality_command_rejects_unidentified_trace(tmp_path):
     write_jsonl(TraceLog(), str(path))
     with pytest.raises(SystemExit):
         main(["causality", str(path)])
+
+
+def test_durability_command_runs_a_tiny_day(tmp_path, capsys):
+    import json
+
+    from repro.durability import DurabilityPlan
+    from repro.faults import FaultPlan, switch_down
+
+    plan = DurabilityPlan(
+        name="tiny-day", slaves=4, racks=2, job="wordcount2",
+        replications=(2,), settle_s=10.0,
+        faults=FaultPlan(faults=(
+            switch_down("{platform}-rack-0", at=8.0, duration=6.0),)))
+    plan_path = tmp_path / "day.json"
+    plan.save(str(plan_path))
+    json_path = tmp_path / "report.json"
+
+    assert main(["durability", "--plan", str(plan_path),
+                 "--platforms", "dell", "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Durability day" in out
+    assert "verdict [dell]" in out
+    assert "reconciliation" in out
+    report = json.loads(json_path.read_text())
+    labels = [arm["label"] for arm in report["arms"]]
+    assert labels == ["dell/oblivious/r2", "dell/rack-aware/r2"]
+    assert [c["label"] for c in report["controls"]] == \
+        ["dell/rack-aware/r2/control"]

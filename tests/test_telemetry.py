@@ -317,3 +317,88 @@ def test_summary_lines_cover_alerts_and_slo():
     assert "Series:" in text
     assert "SLO report" in text
     assert "Alerts: none fired" in text
+
+
+# -- partition symptoms: correlated silence + classification ------------------
+
+def test_correlated_silence_fires_only_for_group_silence():
+    from repro.telemetry import CorrelatedSilenceRule
+    db = TimeSeriesDB()
+    # Three agents scrape until t=5; a lone fourth died back at t=2.
+    for node in ("a", "b", "c"):
+        db.record(5.0, "up", 1.0, node=node)
+    db.record(2.0, "up", 1.0, node="lone")
+    rule = CorrelatedSilenceRule(name="nodes_unreachable", metric="up",
+                                 stale_s=1.0, min_silent=2,
+                                 correlation_s=0.5)
+    # The lone node is stale but has no co-silent peer: stay quiet.
+    assert rule.breaches(db, now=5.8) == []
+    # Sever a, b together at t=5: both are stale and correlated.
+    breached = dict(rule.breaches(db, now=6.5))
+    assert set(breached) == {"a", "b", "c"}
+    assert all(s == pytest.approx(1.5) for s in breached.values())
+
+
+def test_correlated_silence_validation():
+    from repro.telemetry import CorrelatedSilenceRule
+    with pytest.raises(ValueError):
+        CorrelatedSilenceRule(name="x", metric="up", min_silent=1)
+    with pytest.raises(ValueError):
+        CorrelatedSilenceRule(name="x", metric="up", correlation_s=0.0)
+
+
+def test_default_rules_partition_flag_inserts_unreachable_rule():
+    from repro.telemetry import CorrelatedSilenceRule
+    stock = default_rules()
+    assert [r.name for r in stock] == ["node_silent", "cpu_imbalance"]
+    armed = default_rules(partitions=True)
+    assert [r.name for r in armed] == \
+        ["node_silent", "nodes_unreachable", "cpu_imbalance"]
+    assert isinstance(armed[1], CorrelatedSilenceRule)
+
+
+class FakePartition:
+    """A partition record with the injector's member-set semantics."""
+
+    def __init__(self, kind, node, start, members):
+        self.kind, self.node, self.start = kind, node, start
+        self.members = members
+
+    def covers(self, name):
+        return name == self.node or name in self.members
+
+
+def test_detection_report_classifies_dead_vs_unreachable():
+    faults = [FakeFault("crash", "n0", 10.0),
+              FakePartition("partition", "rack-0", 30.0, {"n1", "n2"})]
+    alerts = [Alert(rule="node_silent", node="n0", fired_at=11.0, value=1.0),
+              Alert(rule="node_silent", node="n1", fired_at=31.0, value=1.0),
+              Alert(rule="nodes_unreachable", node="n1", fired_at=31.2,
+                    value=1.0),
+              Alert(rule="nodes_unreachable", node="n2", fired_at=31.2,
+                    value=1.0)]
+    report = DetectionReport.match(faults, alerts)
+    assert report.detected_count == 2
+    crash, cut = report.detections
+    assert (crash.expected, crash.observed) == ("down", "down")
+    # The "silent together" vote outranks the plain dead-node page.
+    assert (cut.expected, cut.observed) == ("unreachable", "unreachable")
+    assert report.classification_accuracy == pytest.approx(1.0)
+    assert report.misclassified == ()
+    assert any("[classified unreachable]" in line
+               for line in report.lines())
+
+
+def test_detection_report_flags_misclassified_partition():
+    # Only the dead-node rule fires for a severed rack: detected, but
+    # called "down" when the ground truth is "unreachable".
+    faults = [FakePartition("partition", "rack-0", 10.0, {"n1"})]
+    alerts = [Alert(rule="node_silent", node="n1", fired_at=11.0,
+                    value=1.0)]
+    report = DetectionReport.match(faults, alerts)
+    assert report.detected_count == 1
+    assert len(report.misclassified) == 1
+    assert report.classification_accuracy == 0.0
+    assert any("MISCLASSIFIED as down, expected unreachable" in line
+               for line in report.lines())
+    assert report.to_dict()["misclassified"] == 1
